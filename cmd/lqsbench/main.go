@@ -1,0 +1,54 @@
+// Command lqsbench regenerates the paper's evaluation (Section 5): every
+// figure and the Appendix A table, as text reports.
+//
+// Usage:
+//
+//	lqsbench                 # run every experiment, quick mode
+//	lqsbench -run Fig14      # one experiment
+//	lqsbench -full           # trace every query of every workload
+//	lqsbench -seed 7         # different data/workload seed
+//	lqsbench -list           # list experiment IDs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"lqs/internal/experiments"
+)
+
+func main() {
+	var (
+		run  = flag.String("run", "all", "experiment ID to run (Fig8..Fig20, TableA1) or 'all'")
+		full = flag.Bool("full", false, "trace every query (default subsamples the large REAL workloads)")
+		seed = flag.Uint64("seed", 42, "workload generation seed")
+		list = flag.Bool("list", false, "list experiment IDs and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+
+	suite := experiments.NewSuite(experiments.Config{Seed: *seed, Quick: !*full})
+	ids := experiments.IDs()
+	if !strings.EqualFold(*run, "all") {
+		ids = strings.Split(*run, ",")
+	}
+	for _, id := range ids {
+		start := time.Now()
+		res, err := suite.Run(strings.TrimSpace(id))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Println(res.Render())
+		fmt.Printf("(%s completed in %v)\n\n", res.ID, time.Since(start).Round(time.Millisecond))
+	}
+}

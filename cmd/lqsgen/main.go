@@ -1,0 +1,78 @@
+// Command lqsgen inspects the evaluation workloads: table inventories,
+// query lists, and estimated showplans (with optimizer cardinalities and
+// per-row costs) for any query.
+//
+// Usage:
+//
+//	lqsgen -workload tpch                 # table + query inventory
+//	lqsgen -workload tpcds -explain Q21   # showplan with estimates
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"lqs/internal/opt"
+	"lqs/internal/plan"
+	"lqs/internal/workload"
+)
+
+func main() {
+	var (
+		wname   = flag.String("workload", "tpch", "workload: tpch, tpch-cs, tpcds, real1, real2, real3")
+		explain = flag.String("explain", "", "print the estimated plan for this query")
+		seed    = flag.Uint64("seed", 42, "workload seed")
+	)
+	flag.Parse()
+
+	var w *workload.Workload
+	switch strings.ToLower(*wname) {
+	case "tpch":
+		w = workload.TPCH(*seed, workload.TPCHRowstore)
+	case "tpch-cs":
+		w = workload.TPCH(*seed, workload.TPCHColumnstore)
+	case "tpcds":
+		w = workload.TPCDS(*seed)
+	case "real1":
+		w = workload.REAL1(*seed)
+	case "real2":
+		w = workload.REAL2(*seed)
+	case "real3":
+		w = workload.REAL3(*seed)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown workload %q\n", *wname)
+		os.Exit(1)
+	}
+
+	if *explain != "" {
+		for _, q := range w.Queries {
+			if strings.EqualFold(q.Name, *explain) {
+				p := plan.Finalize(q.Build(w.Builder()))
+				opt.NewEstimator(w.DB.Catalog).Estimate(p)
+				fmt.Printf("%s %s:\n%s\n", w.Name, q.Name, p)
+				p.Walk(func(n *plan.Node) {
+					fmt.Printf("  node %-3d est_rows=%-10.1f cpu/row=%-8.0f io/row=%-8.0f rebinds=%.0f\n",
+						n.ID, n.EstRows, n.EstCPUPerRow, n.EstIOPerRow, n.EstRebinds)
+				})
+				return
+			}
+		}
+		fmt.Fprintf(os.Stderr, "no query %q in %s\n", *explain, w.Name)
+		os.Exit(1)
+	}
+
+	fmt.Printf("workload %s: %d tables, %d queries\n\ntables:\n", w.Name, len(w.DB.Catalog.Tables()), len(w.Queries))
+	for _, t := range w.DB.Catalog.Tables() {
+		ix := make([]string, 0, len(t.Indexes))
+		for _, i := range t.Indexes {
+			ix = append(ix, i.Name)
+		}
+		fmt.Printf("  %-16s %8d rows  %5d pages  indexes: %s\n", t.Name, t.RowCount, t.Pages, strings.Join(ix, ", "))
+	}
+	fmt.Println("\nqueries:")
+	for _, q := range w.Queries {
+		fmt.Printf("  %s\n", q.Name)
+	}
+}

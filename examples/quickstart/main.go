@@ -1,0 +1,54 @@
+// Quickstart: build a database, run a query, and watch live query and
+// operator progress — the minimal end-to-end use of the public API.
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"lqs"
+	"lqs/internal/engine/expr"
+)
+
+func main() {
+	// 1. Schema: one orders table.
+	cat := lqs.NewCatalog()
+	orders := lqs.NewTable("orders",
+		lqs.Column{Name: "id", Kind: lqs.KindInt},
+		lqs.Column{Name: "region", Kind: lqs.KindInt},
+		lqs.Column{Name: "total", Kind: lqs.KindFloat},
+	)
+	orders.AddIndex(&lqs.Index{Name: "pk", KeyCols: []int{0}, Clustered: true})
+	cat.Add(orders)
+
+	// 2. Load 50k rows and build statistics.
+	db := lqs.NewDatabase(cat, 1<<18)
+	rows := make([]lqs.Row, 50_000)
+	for i := range rows {
+		rows[i] = lqs.Row{lqs.Int(int64(i)), lqs.Int(int64(i % 12)), lqs.Float(float64(i%997) * 1.5)}
+	}
+	db.Load("orders", rows)
+	db.BuildAllStats(64)
+
+	// 3. A plan: scan → filter → aggregate by region → sort by revenue.
+	b := lqs.NewPlanBuilder(cat)
+	scan := b.TableScan("orders", nil, nil)
+	filtered := b.Filter(scan, expr.Gt(expr.C(2, "total"), expr.KInt(100)))
+	agg := b.HashAgg(filtered, []int{1}, []expr.AggSpec{
+		{Kind: expr.Sum, Arg: expr.C(2, "total")},
+		{Kind: expr.CountStar},
+	})
+	root := b.Sort(agg, []int{1}, []bool{true})
+
+	// 4. Run it with Live Query Statistics attached: the callback fires at
+	// every virtual poll interval with fresh progress estimates.
+	session := lqs.Start(db, root, lqs.DefaultOptions())
+	n := session.Monitor(2*time.Millisecond, func(q *lqs.QuerySnapshot) {
+		fmt.Printf("t=%-10v overall %5.1f%%   scan %5.1f%%  agg %5.1f%%  sort %5.1f%%\n",
+			q.At, q.Progress*100,
+			q.Ops[3].Progress*100, q.Ops[1].Progress*100, q.Ops[0].Progress*100)
+	})
+
+	fmt.Printf("\nfinal plan state:\n%s", session.Render(session.Snapshot()))
+	fmt.Printf("query returned %d rows\n", n)
+}

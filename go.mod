@@ -1,0 +1,3 @@
+module lqs
+
+go 1.22

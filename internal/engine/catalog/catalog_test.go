@@ -1,0 +1,232 @@
+package catalog
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"lqs/internal/engine/types"
+	"lqs/internal/sim"
+)
+
+func testTable() *Table {
+	return NewTable("t",
+		Column{"id", types.KindInt},
+		Column{"name", types.KindString},
+		Column{"price", types.KindFloat},
+	)
+}
+
+func TestTableColumnLookup(t *testing.T) {
+	tb := testTable()
+	if tb.Col("name") != 1 || tb.Col("missing") != -1 {
+		t.Error("Col lookup wrong")
+	}
+	if tb.MustCol("price") != 2 {
+		t.Error("MustCol wrong")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustCol on missing column did not panic")
+		}
+	}()
+	tb.MustCol("nope")
+}
+
+func TestDuplicateColumnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate column did not panic")
+		}
+	}()
+	NewTable("t", Column{"a", types.KindInt}, Column{"a", types.KindInt})
+}
+
+func TestCatalogAddAndLookup(t *testing.T) {
+	c := NewCatalog()
+	tb := c.Add(testTable())
+	if c.Table("t") != tb || c.Table("x") != nil {
+		t.Error("catalog lookup wrong")
+	}
+	if len(c.Tables()) != 1 {
+		t.Error("Tables() wrong")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate table did not panic")
+		}
+	}()
+	c.Add(testTable())
+}
+
+func TestIndexRegistrationAndLookup(t *testing.T) {
+	tb := testTable()
+	ci := tb.AddIndex(&Index{Name: "pk", KeyCols: []int{0}, Clustered: true})
+	nc := tb.AddIndex(&Index{Name: "ix_name", KeyCols: []int{1}})
+	cs := tb.AddIndex(&Index{Name: "cs", Kind: ColumnStore})
+	if tb.Index("pk") != ci || tb.Index("zz") != nil {
+		t.Error("Index lookup wrong")
+	}
+	if tb.ClusteredIndex() != ci {
+		t.Error("ClusteredIndex wrong")
+	}
+	if tb.ColumnStoreIndex() != cs {
+		t.Error("ColumnStoreIndex wrong")
+	}
+	if nc.Table != "t" {
+		t.Error("AddIndex did not set table name")
+	}
+}
+
+func intVals(vs ...int64) []types.Value {
+	out := make([]types.Value, len(vs))
+	for i, v := range vs {
+		out[i] = types.Int(v)
+	}
+	return out
+}
+
+func TestHistogramBasicCounts(t *testing.T) {
+	h := BuildHistogram(intVals(1, 1, 2, 3, 3, 3, 4, 5, 5, 9), 4)
+	if h.TotalRows != 10 {
+		t.Fatalf("TotalRows = %v", h.TotalRows)
+	}
+	if h.DistinctTotal != 6 {
+		t.Fatalf("DistinctTotal = %v", h.DistinctTotal)
+	}
+	if types.Compare(h.Min, types.Int(1)) != 0 || types.Compare(h.Max, types.Int(9)) != 0 {
+		t.Fatalf("min/max = %v/%v", h.Min, h.Max)
+	}
+	// Mass conservation: all rows accounted for across buckets.
+	var mass float64
+	for _, b := range h.Buckets {
+		mass += b.RangeRows + b.EqRows
+	}
+	if mass != 10 {
+		t.Fatalf("bucket mass = %v, want 10", mass)
+	}
+}
+
+func TestHistogramSelectivityEqExactOnBoundary(t *testing.T) {
+	// With enough buckets every distinct value is a boundary → exact eq.
+	h := BuildHistogram(intVals(1, 1, 1, 2, 3, 3, 4, 4, 4, 4), 10)
+	cases := map[int64]float64{1: 0.3, 2: 0.1, 3: 0.2, 4: 0.4, 7: 0}
+	for v, want := range cases {
+		if got := h.SelectivityEq(types.Int(v)); math.Abs(got-want) > 1e-9 {
+			t.Errorf("SelectivityEq(%d) = %v, want %v", v, got, want)
+		}
+	}
+}
+
+func TestHistogramSelectivityLT(t *testing.T) {
+	vals := make([]types.Value, 0, 100)
+	for i := int64(1); i <= 100; i++ {
+		vals = append(vals, types.Int(i))
+	}
+	h := BuildHistogram(vals, 10)
+	if got := h.SelectivityLT(types.Int(51), false); math.Abs(got-0.5) > 0.05 {
+		t.Errorf("SelectivityLT(51) = %v, want ~0.5", got)
+	}
+	if got := h.SelectivityLT(types.Int(1), false); got > 0.02 {
+		t.Errorf("SelectivityLT(min) = %v, want ~0", got)
+	}
+	if got := h.SelectivityLT(types.Int(1000), true); got != 1 {
+		t.Errorf("SelectivityLT(above max) = %v, want 1", got)
+	}
+}
+
+func TestHistogramSelectivityRange(t *testing.T) {
+	vals := make([]types.Value, 0, 1000)
+	for i := int64(0); i < 1000; i++ {
+		vals = append(vals, types.Int(i%100))
+	}
+	h := BuildHistogram(vals, 20)
+	got := h.SelectivityRange(types.Int(20), types.Int(39), true, true)
+	if math.Abs(got-0.2) > 0.05 {
+		t.Errorf("range [20,39] = %v, want ~0.2", got)
+	}
+	full := h.SelectivityRange(types.Null(), types.Null(), false, false)
+	if full != 1 {
+		t.Errorf("open range = %v, want 1", full)
+	}
+}
+
+func TestHistogramSkewedEqHeadVsTail(t *testing.T) {
+	rng := sim.NewRNG(1)
+	z := sim.NewZipf(rng, 1000, 1.0)
+	vals := make([]types.Value, 50000)
+	for i := range vals {
+		vals[i] = types.Int(z.Next())
+	}
+	h := BuildHistogram(vals, 50)
+	head := h.SelectivityEq(types.Int(1))
+	if head < 0.05 {
+		t.Errorf("head selectivity %v too small for Z=1 skew", head)
+	}
+	tail := h.SelectivityEq(types.Int(997))
+	if tail > head/10 {
+		t.Errorf("tail selectivity %v not far below head %v", tail, head)
+	}
+}
+
+func TestHistogramPropertyLTMonotone(t *testing.T) {
+	rng := sim.NewRNG(2)
+	vals := make([]types.Value, 2000)
+	for i := range vals {
+		vals[i] = types.Int(rng.Int63n(500))
+	}
+	h := BuildHistogram(vals, 16)
+	f := func(a, b uint16) bool {
+		x, y := int64(a%600), int64(b%600)
+		if x > y {
+			x, y = y, x
+		}
+		return h.SelectivityLT(types.Int(x), false) <= h.SelectivityLT(types.Int(y), false)+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	h := BuildHistogram(nil, 8)
+	if h.SelectivityEq(types.Int(1)) != 0 || h.SelectivityLT(types.Int(1), true) != 0 {
+		t.Error("empty histogram selectivity should be 0")
+	}
+}
+
+func TestBuildStats(t *testing.T) {
+	tb := testTable()
+	tb.RowCount = 4
+	data := [][]types.Value{
+		intVals(1, 2, 2, 3),
+		{types.Str("a"), types.Str("b"), types.Str("b"), types.Null()},
+		{types.Float(1), types.Float(2), types.Float(3), types.Float(4)},
+	}
+	tb.BuildStats(8, func(i int) []types.Value { return data[i] })
+	st := tb.Stats
+	if st == nil || st.Rows != 4 {
+		t.Fatalf("stats rows = %+v", st)
+	}
+	if st.Cols[0].Distinct != 3 {
+		t.Errorf("id distinct = %v", st.Cols[0].Distinct)
+	}
+	if math.Abs(st.Cols[1].NullFrac-0.25) > 1e-9 {
+		t.Errorf("name null frac = %v", st.Cols[1].NullFrac)
+	}
+	if st.Cols[1].Distinct != 2 {
+		t.Errorf("name distinct = %v (nulls must be excluded)", st.Cols[1].Distinct)
+	}
+}
+
+func TestHistogramStringValues(t *testing.T) {
+	h := BuildHistogram([]types.Value{
+		types.Str("apple"), types.Str("apple"), types.Str("banana"), types.Str("cherry"),
+	}, 4)
+	if got := h.SelectivityEq(types.Str("apple")); math.Abs(got-0.5) > 1e-9 {
+		t.Errorf("eq apple = %v", got)
+	}
+	if got := h.SelectivityLT(types.Str("z"), false); got != 1 {
+		t.Errorf("lt z = %v", got)
+	}
+}

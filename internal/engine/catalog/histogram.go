@@ -1,0 +1,250 @@
+package catalog
+
+import (
+	"fmt"
+	"strings"
+
+	"lqs/internal/engine/types"
+)
+
+// Bucket is one step of an equi-depth histogram. It covers the value range
+// (previous bucket's Upper, Upper], with EqRows rows equal to Upper itself
+// and RangeRows/RangeDistinct describing the open interval below it —
+// the same MaxDiff-style layout SQL Server statistics use, which is what
+// the paper's optimizer estimates come from.
+type Bucket struct {
+	Upper         types.Value
+	EqRows        float64
+	RangeRows     float64
+	RangeDistinct float64
+}
+
+// Histogram is an equi-depth histogram over a column's non-null values.
+type Histogram struct {
+	Buckets       []Bucket
+	TotalRows     float64
+	DistinctTotal float64
+	Min, Max      types.Value
+}
+
+// buildHistogramSorted builds a histogram from values already sorted
+// ascending. It produces at most maxBuckets steps; every distinct value at
+// a bucket boundary gets exact EqRows, which mirrors how real engines pin
+// frequent values to steps.
+func buildHistogramSorted(sorted []types.Value, maxBuckets int) *Histogram {
+	h := &Histogram{}
+	n := len(sorted)
+	if n == 0 {
+		return h
+	}
+	if maxBuckets < 1 {
+		maxBuckets = 1
+	}
+	h.TotalRows = float64(n)
+	h.Min = sorted[0]
+	h.Max = sorted[n-1]
+
+	// Group into runs of equal values first.
+	type run struct {
+		v     types.Value
+		count int
+	}
+	runs := make([]run, 0, min(n, 4096))
+	for i := 0; i < n; {
+		j := i + 1
+		for j < n && types.Equal(sorted[j], sorted[i]) {
+			j++
+		}
+		runs = append(runs, run{sorted[i], j - i})
+		i = j
+	}
+	h.DistinctTotal = float64(len(runs))
+
+	perBucket := (n + maxBuckets - 1) / maxBuckets
+	var cur Bucket
+	var curRows int
+	var curDistinct int
+	flush := func(boundary run) {
+		cur.Upper = boundary.v
+		cur.EqRows = float64(boundary.count)
+		cur.RangeRows = float64(curRows)
+		cur.RangeDistinct = float64(curDistinct)
+		h.Buckets = append(h.Buckets, cur)
+		cur = Bucket{}
+		curRows, curDistinct = 0, 0
+	}
+	for i, rn := range runs {
+		// A run becomes the boundary when the accumulated range plus the
+		// run itself reaches the target depth, or it is the last run.
+		if curRows+rn.count >= perBucket || i == len(runs)-1 {
+			flush(rn)
+		} else {
+			curRows += rn.count
+			curDistinct++
+		}
+	}
+	return h
+}
+
+// BuildHistogram sorts a copy of values and builds an equi-depth histogram
+// with at most maxBuckets steps. Null values must be filtered out by the
+// caller (Table.BuildStats does this).
+func BuildHistogram(values []types.Value, maxBuckets int) *Histogram {
+	cp := make([]types.Value, len(values))
+	copy(cp, values)
+	sortValues(cp)
+	return buildHistogramSorted(cp, maxBuckets)
+}
+
+func sortValues(vs []types.Value) {
+	// insertion-free: delegate to sort.Slice via a tiny local import-free
+	// shim is not worth it; use a simple quicksort to keep the package
+	// dependency surface minimal? Standard library is allowed and clearer.
+	quickSortValues(vs, 0, len(vs)-1)
+}
+
+func quickSortValues(vs []types.Value, lo, hi int) {
+	for lo < hi {
+		if hi-lo < 12 {
+			for i := lo + 1; i <= hi; i++ {
+				for j := i; j > lo && types.Compare(vs[j], vs[j-1]) < 0; j-- {
+					vs[j], vs[j-1] = vs[j-1], vs[j]
+				}
+			}
+			return
+		}
+		mid := lo + (hi-lo)/2
+		pivot := vs[mid]
+		i, j := lo, hi
+		for i <= j {
+			for types.Compare(vs[i], pivot) < 0 {
+				i++
+			}
+			for types.Compare(vs[j], pivot) > 0 {
+				j--
+			}
+			if i <= j {
+				vs[i], vs[j] = vs[j], vs[i]
+				i++
+				j--
+			}
+		}
+		// Recurse into the smaller side to bound stack depth.
+		if j-lo < hi-i {
+			quickSortValues(vs, lo, j)
+			lo = i
+		} else {
+			quickSortValues(vs, i, hi)
+			hi = j
+		}
+	}
+}
+
+// SelectivityEq estimates the fraction of rows equal to v.
+func (h *Histogram) SelectivityEq(v types.Value) float64 {
+	if h.TotalRows == 0 {
+		return 0
+	}
+	for _, b := range h.Buckets {
+		c := types.Compare(v, b.Upper)
+		if c == 0 {
+			return b.EqRows / h.TotalRows
+		}
+		if c < 0 {
+			// Inside the bucket's open range: assume uniform over its
+			// distinct values.
+			if b.RangeDistinct > 0 {
+				return b.RangeRows / b.RangeDistinct / h.TotalRows
+			}
+			return 0
+		}
+	}
+	return 0 // above the max
+}
+
+// SelectivityLT estimates the fraction of rows strictly below v
+// (inclusive=true makes it <=).
+func (h *Histogram) SelectivityLT(v types.Value, inclusive bool) float64 {
+	if h.TotalRows == 0 {
+		return 0
+	}
+	var below float64
+	var prev types.Value
+	hasPrev := false
+	for _, b := range h.Buckets {
+		c := types.Compare(v, b.Upper)
+		switch {
+		case c > 0:
+			below += b.RangeRows + b.EqRows
+		case c == 0:
+			below += b.RangeRows
+			if inclusive {
+				below += b.EqRows
+			}
+			return clamp01(below / h.TotalRows)
+		default:
+			// v falls inside this bucket's open range: linear interpolation
+			// on numeric bounds, half the bucket otherwise. The first
+			// bucket's lower bound is the column minimum.
+			frac := 0.5
+			lower := h.Min
+			if hasPrev {
+				lower = prev
+			}
+			if lo, ok1 := lower.AsFloat(); ok1 {
+				if hi, ok2 := b.Upper.AsFloat(); ok2 && hi > lo {
+					if fv, ok3 := v.AsFloat(); ok3 {
+						frac = (fv - lo) / (hi - lo)
+					}
+				}
+			}
+			below += b.RangeRows * clamp01(frac)
+			return clamp01(below / h.TotalRows)
+		}
+		prev = b.Upper
+		hasPrev = true
+	}
+	return clamp01(below / h.TotalRows)
+}
+
+// SelectivityRange estimates the fraction of rows in [lo, hi] with the
+// given inclusivities. Pass a NULL bound for an open end.
+func (h *Histogram) SelectivityRange(lo, hi types.Value, loInc, hiInc bool) float64 {
+	upper := 1.0
+	if !hi.IsNull() {
+		upper = h.SelectivityLT(hi, hiInc)
+	}
+	lower := 0.0
+	if !lo.IsNull() {
+		lower = h.SelectivityLT(lo, !loInc)
+	}
+	return clamp01(upper - lower)
+}
+
+// String renders the histogram compactly for debugging.
+func (h *Histogram) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "hist{rows=%.0f distinct=%.0f", h.TotalRows, h.DistinctTotal)
+	for _, b := range h.Buckets {
+		fmt.Fprintf(&sb, " [<%s:%.0f/%.0f =%s:%.0f]", b.Upper, b.RangeRows, b.RangeDistinct, b.Upper, b.EqRows)
+	}
+	sb.WriteString("}")
+	return sb.String()
+}
+
+func clamp01(f float64) float64 {
+	if f < 0 {
+		return 0
+	}
+	if f > 1 {
+		return 1
+	}
+	return f
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,104 @@
+package dmv
+
+import (
+	"testing"
+	"time"
+
+	"lqs/internal/engine/catalog"
+	"lqs/internal/engine/exec"
+	"lqs/internal/engine/expr"
+	"lqs/internal/engine/storage"
+	"lqs/internal/engine/types"
+	"lqs/internal/opt"
+	"lqs/internal/plan"
+	"lqs/internal/sim"
+)
+
+func testQuery(tb testing.TB, clock *sim.Clock) (*exec.Query, *plan.Node) {
+	tb.Helper()
+	cat := catalog.NewCatalog()
+	tt := catalog.NewTable("t",
+		catalog.Column{Name: "id", Kind: types.KindInt},
+		catalog.Column{Name: "v", Kind: types.KindFloat},
+	)
+	cat.Add(tt)
+	db := storage.NewDatabase(cat, 1<<20)
+	rows := make([]types.Row, 5000)
+	for i := range rows {
+		rows[i] = types.Row{types.Int(int64(i)), types.Float(float64(i))}
+	}
+	db.Load("t", rows)
+	db.BuildAllStats(16)
+	bb := plan.NewBuilder(cat)
+	scan := bb.TableScan("t", nil, nil)
+	agg := bb.HashAgg(scan, []int{0}, []expr.AggSpec{{Kind: expr.CountStar}})
+	p := plan.Finalize(bb.Sort(agg, []int{1}, nil))
+	opt.NewEstimator(cat).Estimate(p)
+	return exec.NewQuery(p, db, opt.DefaultCostModel(), clock), scan
+}
+
+func TestCaptureSnapshot(t *testing.T) {
+	clock := sim.NewClock()
+	q, scan := testQuery(t, clock)
+	q.Run()
+	snap := Capture(q)
+	if len(snap.Ops) != 3 {
+		t.Fatalf("snapshot has %d ops", len(snap.Ops))
+	}
+	sp := snap.Op(scan.ID)
+	if sp.ActualRows != 5000 || !sp.Closed {
+		t.Fatalf("scan profile wrong: %+v", sp)
+	}
+	if sp.EstimateRows != 5000 {
+		t.Fatalf("estimate not carried: %v", sp.EstimateRows)
+	}
+	if snap.At != clock.Now() {
+		t.Fatal("snapshot time wrong")
+	}
+}
+
+func TestPollerAccumulatesTrace(t *testing.T) {
+	clock := sim.NewClock()
+	q, scan := testQuery(t, clock)
+	poller := NewPoller(clock, 100*time.Microsecond)
+	poller.Register(q)
+	q.Run()
+	tr := poller.Finish(q)
+	if len(tr.Snapshots) < 3 {
+		t.Fatalf("only %d snapshots", len(tr.Snapshots))
+	}
+	// Snapshots are time-ordered and counters are monotone.
+	for i := 1; i < len(tr.Snapshots); i++ {
+		if tr.Snapshots[i].At <= tr.Snapshots[i-1].At {
+			t.Fatal("snapshots out of order")
+		}
+		if tr.Snapshots[i].Op(scan.ID).ActualRows < tr.Snapshots[i-1].Op(scan.ID).ActualRows {
+			t.Fatal("k_i decreased between snapshots")
+		}
+	}
+	if tr.TrueRows[scan.ID] != 5000 {
+		t.Fatalf("TrueRows = %d", tr.TrueRows[scan.ID])
+	}
+	if tr.Final == nil || tr.EndedAt <= tr.StartedAt {
+		t.Fatal("final state not recorded")
+	}
+}
+
+func TestPollerSkipsFinishedQueries(t *testing.T) {
+	clock := sim.NewClock()
+	q, _ := testQuery(t, clock)
+	poller := NewPoller(clock, 100*time.Microsecond)
+	poller.Register(q)
+	q.Run()
+	n := len(poller.traces[q].Snapshots)
+	clock.Advance(10 * time.Millisecond) // fires the observer repeatedly
+	if len(poller.traces[q].Snapshots) != n {
+		t.Fatal("poller sampled a finished query")
+	}
+}
+
+func TestColumnStoreSegments(t *testing.T) {
+	if ColumnStoreSegments(10, 3) != 30 || ColumnStoreSegments(10, 0) != 10 {
+		t.Fatal("segment math wrong")
+	}
+}

@@ -1,0 +1,183 @@
+package exec
+
+import (
+	"lqs/internal/engine/expr"
+	"lqs/internal/engine/types"
+	"lqs/internal/plan"
+)
+
+// hashJoin builds a hash table from its build child (children[1]) at Open
+// — a separate pipeline, during which any BitmapCreate node in the build
+// subtree populates its bitmap — then streams probe rows (children[0])
+// against it. Output rows are probe columns followed by build columns.
+type hashJoin struct {
+	base
+	probe, build Operator
+
+	table   map[uint64][]*buildEntry
+	order   []*buildEntry // insertion order, for deterministic outer tails
+	nullRow types.Row     // build-width null padding for outer joins
+
+	// streaming state
+	curMatches []*buildEntry
+	matchPos   int
+	curProbe   types.Row
+	probeDone  bool
+	tailPos    int // unmatched-build emission for right/full outer
+	matched    bool
+}
+
+type buildEntry struct {
+	row     types.Row
+	matched bool
+}
+
+func newHashJoin(n *plan.Node, probe, build Operator) *hashJoin {
+	h := &hashJoin{probe: probe, build: build}
+	h.init(n)
+	return h
+}
+
+func (h *hashJoin) Open(ctx *Ctx) {
+	h.opened(ctx)
+	h.build.Open(ctx)
+	h.table = make(map[uint64][]*buildEntry)
+	h.order = h.order[:0]
+	insert := ctx.CM.CPUHashInsert
+	if h.node.BatchMode {
+		insert /= batchFactor
+	}
+	for {
+		row, ok := h.build.Next(ctx)
+		if !ok {
+			break
+		}
+		h.c.InputRows++
+		ctx.chargeCPU(&h.c, insert)
+		e := &buildEntry{row: row}
+		hv := row.HashCols(h.node.JoinRightCols)
+		h.table[hv] = append(h.table[hv], e)
+		h.order = append(h.order, e)
+	}
+	h.build.Close(ctx)
+	if len(h.order) > 0 {
+		h.nullRow = make(types.Row, len(h.order[0].row))
+	}
+	h.probe.Open(ctx)
+}
+
+func (h *hashJoin) Rewind(ctx *Ctx) {
+	// Hash joins never sit on the inner side of a nested loop in the
+	// plans this engine produces; a rebind would need a full re-open.
+	panic("exec: hash join cannot be rewound")
+}
+
+// lookup returns the build entries whose keys equal the probe row's.
+func (h *hashJoin) lookup(ctx *Ctx, probeRow types.Row) []*buildEntry {
+	probeCost := ctx.CM.CPUHashProbe
+	if h.node.BatchMode {
+		probeCost /= batchFactor
+	}
+	ctx.chargeCPU(&h.c, probeCost)
+	hv := probeRow.HashCols(h.node.JoinLeftCols)
+	var out []*buildEntry
+	for _, e := range h.table[hv] {
+		if types.EqualCols(probeRow, e.row, h.node.JoinLeftCols, h.node.JoinRightCols) {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+func (h *hashJoin) Next(ctx *Ctx) (types.Row, bool) {
+	kind := h.node.Logical
+	for {
+		// Emit pending matches for the current probe row.
+		for h.matchPos < len(h.curMatches) {
+			e := h.curMatches[h.matchPos]
+			h.matchPos++
+			joined := h.curProbe.Concat(e.row)
+			if h.node.Residual != nil && !expr.EvalPred(h.node.Residual, joined) {
+				continue
+			}
+			h.matched = true
+			firstForBuild := !e.matched
+			e.matched = true
+			switch kind {
+			case plan.LogicalInnerJoin, plan.LogicalLeftOuterJoin,
+				plan.LogicalRightOuterJoin, plan.LogicalFullOuterJoin:
+				h.emit()
+				return joined, true
+			case plan.LogicalLeftSemiJoin:
+				h.curMatches = nil // one output per probe row
+				h.emit()
+				return h.curProbe, true
+			case plan.LogicalRightSemiJoin:
+				if firstForBuild {
+					h.emit()
+					return e.row, true
+				}
+			case plan.LogicalLeftAntiSemiJoin:
+				h.curMatches = nil // match found: probe row disqualified
+			}
+		}
+		// Handle probe-row epilogue for outer/anti variants.
+		if h.curProbe != nil {
+			probeRow := h.curProbe
+			h.curProbe = nil
+			if !h.matched {
+				switch kind {
+				case plan.LogicalLeftOuterJoin, plan.LogicalFullOuterJoin:
+					pad := h.nullRow
+					if pad == nil {
+						pad = make(types.Row, h.node.Width-len(probeRow))
+					}
+					h.emit()
+					return probeRow.Concat(pad), true
+				case plan.LogicalLeftAntiSemiJoin:
+					h.emit()
+					return probeRow, true
+				}
+			}
+		}
+		if h.probeDone {
+			// Unmatched-build tail for right/full outer joins.
+			if kind == plan.LogicalRightOuterJoin || kind == plan.LogicalFullOuterJoin {
+				for h.tailPos < len(h.order) {
+					e := h.order[h.tailPos]
+					h.tailPos++
+					if !e.matched {
+						ctx.chargeCPU(&h.c, ctx.CM.CPUTuple)
+						h.emit()
+						return h.probeNulls().Concat(e.row), true
+					}
+				}
+			}
+			return nil, false
+		}
+		row, ok := h.probe.Next(ctx)
+		if !ok {
+			h.probeDone = true
+			continue
+		}
+		h.curProbe = row
+		h.matched = false
+		h.matchPos = 0
+		h.curMatches = h.lookup(ctx, row)
+	}
+}
+
+func (h *hashJoin) probeNulls() types.Row {
+	if len(h.order) == 0 {
+		return types.Row{}
+	}
+	return make(types.Row, h.node.Width-len(h.order[0].row))
+}
+
+func (h *hashJoin) Close(ctx *Ctx) {
+	if h.c.Closed {
+		return
+	}
+	h.probe.Close(ctx)
+	h.closed(ctx)
+}

@@ -1,0 +1,156 @@
+package exec
+
+import (
+	"lqs/internal/engine/expr"
+	"lqs/internal/engine/types"
+	"lqs/internal/plan"
+)
+
+// mergeJoin joins two inputs sorted on the join keys, buffering runs of
+// equal keys on the right side to handle many-to-many matches. Supported
+// variants: inner, left outer, left semi, left anti.
+type mergeJoin struct {
+	base
+	left, right Operator
+
+	curLeft   types.Row
+	run       []types.Row // right-side rows equal to runKey
+	runKey    types.Row
+	runPos    int
+	nextRight types.Row // right row read past the current run
+	rightDone bool
+	leftDone  bool
+	matched   bool
+	nullRight types.Row
+}
+
+func newMergeJoin(n *plan.Node, left, right Operator) *mergeJoin {
+	m := &mergeJoin{left: left, right: right}
+	m.init(n)
+	return m
+}
+
+func (m *mergeJoin) Open(ctx *Ctx) {
+	m.opened(ctx)
+	m.left.Open(ctx)
+	m.right.Open(ctx)
+}
+
+func (m *mergeJoin) Rewind(ctx *Ctx) {
+	panic("exec: merge join cannot be rewound")
+}
+
+// cmpKeys orders a left row against a right row on the join keys.
+func (m *mergeJoin) cmpKeys(l, r types.Row) int {
+	return types.CompareCols(l, r, m.node.JoinLeftCols, m.node.JoinRightCols, nil)
+}
+
+// advanceRight loads the run of right rows matching the current left row's
+// key, skipping lesser right rows.
+func (m *mergeJoin) advanceRight(ctx *Ctx) {
+	// Reuse the existing run if the key still matches.
+	if m.runKey != nil && m.cmpKeys(m.curLeft, m.runKey) == 0 {
+		m.runPos = 0
+		return
+	}
+	m.run = m.run[:0]
+	m.runKey = nil
+	m.runPos = 0
+	for {
+		var r types.Row
+		if m.nextRight != nil {
+			r = m.nextRight
+			m.nextRight = nil
+		} else if m.rightDone {
+			return
+		} else {
+			var ok bool
+			r, ok = m.right.Next(ctx)
+			if !ok {
+				m.rightDone = true
+				return
+			}
+			ctx.chargeCPU(&m.c, ctx.CM.CPUTuple)
+		}
+		c := m.cmpKeys(m.curLeft, r)
+		switch {
+		case c > 0:
+			continue // right row too small; skip
+		case c == 0:
+			if m.runKey == nil {
+				m.runKey = r
+			}
+			m.run = append(m.run, r)
+			// Keep pulling until the run ends.
+		default:
+			m.nextRight = r // right ran ahead; stash for later keys
+			return
+		}
+	}
+}
+
+func (m *mergeJoin) Next(ctx *Ctx) (types.Row, bool) {
+	kind := m.node.Logical
+	for {
+		// Emit remaining matches for the current left row.
+		for m.curLeft != nil && m.runPos < len(m.run) {
+			r := m.run[m.runPos]
+			m.runPos++
+			joined := m.curLeft.Concat(r)
+			if m.node.Residual != nil && !expr.EvalPred(m.node.Residual, joined) {
+				continue
+			}
+			m.matched = true
+			switch kind {
+			case plan.LogicalLeftSemiJoin:
+				l := m.curLeft
+				m.curLeft = nil
+				m.emit()
+				return l, true
+			case plan.LogicalLeftAntiSemiJoin:
+				m.runPos = len(m.run) // disqualified; skip rest
+			default:
+				m.emit()
+				return joined, true
+			}
+		}
+		if m.curLeft != nil {
+			l := m.curLeft
+			m.curLeft = nil
+			if !m.matched {
+				switch kind {
+				case plan.LogicalLeftOuterJoin:
+					if m.nullRight == nil {
+						m.nullRight = make(types.Row, m.node.Width-len(l))
+					}
+					m.emit()
+					return l.Concat(m.nullRight), true
+				case plan.LogicalLeftAntiSemiJoin:
+					m.emit()
+					return l, true
+				}
+			}
+		}
+		if m.leftDone {
+			return nil, false
+		}
+		l, ok := m.left.Next(ctx)
+		if !ok {
+			m.leftDone = true
+			return nil, false
+		}
+		ctx.chargeCPU(&m.c, ctx.CM.CPUTuple)
+		m.curLeft = l
+		m.matched = false
+		m.advanceRight(ctx)
+	}
+}
+
+func (m *mergeJoin) Close(ctx *Ctx) {
+	if m.c.Closed {
+		return
+	}
+	m.left.Close(ctx)
+	m.right.Close(ctx)
+	m.closed(ctx)
+}

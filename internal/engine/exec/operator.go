@@ -1,0 +1,123 @@
+package exec
+
+import (
+	"fmt"
+
+	"lqs/internal/engine/types"
+	"lqs/internal/plan"
+)
+
+// Operator is the demand-driven iterator interface (Open/GetNext/Close of
+// [11], §3.1.2). The simulated engine cannot fail at runtime, so there are
+// no error returns; structural bugs panic.
+type Operator interface {
+	// Open prepares the operator (and its children). Blocking operators
+	// consume their input here.
+	Open(ctx *Ctx)
+	// Next returns the next output row; ok=false at end of output.
+	Next(ctx *Ctx) (row types.Row, ok bool)
+	// Close releases the operator after its output is drained.
+	Close(ctx *Ctx)
+	// Rewind re-positions the operator at its beginning for the current
+	// ctx.Bind row; nested loops rewind their inner side per outer row.
+	Rewind(ctx *Ctx)
+	// Counters exposes the operator's instrumentation.
+	Counters() *Counters
+}
+
+// base carries the plumbing every operator shares.
+type base struct {
+	node *plan.Node
+	c    Counters
+}
+
+func (b *base) init(n *plan.Node) {
+	b.node = n
+	b.c = Counters{
+		NodeID:   n.ID,
+		Physical: n.Physical,
+		Logical:  n.Logical,
+		EstRows:  n.EstRows,
+	}
+}
+
+// Counters returns the operator's counters.
+func (b *base) Counters() *Counters { return &b.c }
+
+// opened marks the operator open (first call only) and stamps the time.
+func (b *base) opened(ctx *Ctx) {
+	if !b.c.Opened {
+		b.c.Opened = true
+		b.c.OpenedAt = ctx.Clock.Now()
+	}
+	b.c.Rebinds++
+}
+
+// closed stamps the close time.
+func (b *base) closed(ctx *Ctx) {
+	if !b.c.Closed {
+		b.c.Closed = true
+		b.c.ClosedAt = ctx.Clock.Now()
+	}
+}
+
+// emit counts an output row.
+func (b *base) emit() { b.c.Rows++ }
+
+// BuildOperator constructs the operator tree for a finalized, estimated
+// plan. The ctx must be the one later used to run the query (bitmap
+// registration happens here).
+func BuildOperator(n *plan.Node, ctx *Ctx) Operator {
+	switch n.Physical {
+	case plan.TableScan:
+		return newTableScan(n)
+	case plan.ClusteredIndexScan, plan.IndexScan:
+		return newIndexScan(n)
+	case plan.ClusteredIndexSeek, plan.IndexSeek:
+		return newIndexSeek(n)
+	case plan.RIDLookup:
+		return newRIDLookup(n, BuildOperator(n.Children[0], ctx))
+	case plan.ConstantScan:
+		return newConstantScan(n)
+	case plan.ColumnstoreIndexScan:
+		return newColumnstoreScan(n)
+	case plan.Filter:
+		return newFilter(n, BuildOperator(n.Children[0], ctx))
+	case plan.ComputeScalar:
+		return newComputeScalar(n, BuildOperator(n.Children[0], ctx))
+	case plan.SegmentOp:
+		return newSegment(n, BuildOperator(n.Children[0], ctx))
+	case plan.Concatenation:
+		kids := make([]Operator, len(n.Children))
+		for i, c := range n.Children {
+			kids[i] = BuildOperator(c, ctx)
+		}
+		return newConcat(n, kids)
+	case plan.Sort, plan.DistinctSort:
+		return newSort(n, BuildOperator(n.Children[0], ctx))
+	case plan.TopNSort:
+		return newTopNSort(n, BuildOperator(n.Children[0], ctx))
+	case plan.StreamAggregate:
+		return newStreamAgg(n, BuildOperator(n.Children[0], ctx))
+	case plan.HashAggregate:
+		return newHashAgg(n, BuildOperator(n.Children[0], ctx))
+	case plan.HashJoin:
+		return newHashJoin(n, BuildOperator(n.Children[0], ctx), BuildOperator(n.Children[1], ctx))
+	case plan.MergeJoin:
+		return newMergeJoin(n, BuildOperator(n.Children[0], ctx), BuildOperator(n.Children[1], ctx))
+	case plan.NestedLoops:
+		return newNestedLoops(n, BuildOperator(n.Children[0], ctx), BuildOperator(n.Children[1], ctx))
+	case plan.TableSpool:
+		return newSpool(n, BuildOperator(n.Children[0], ctx))
+	case plan.BitmapCreate:
+		if ctx.Bitmaps == nil {
+			ctx.Bitmaps = make(map[int]*bitmapFilter)
+		}
+		ctx.Bitmaps[n.ID] = newBitmapFilter()
+		return newBitmap(n, BuildOperator(n.Children[0], ctx))
+	case plan.Exchange:
+		return newExchange(n, BuildOperator(n.Children[0], ctx))
+	default:
+		panic(fmt.Sprintf("exec: no operator for %v", n.Physical))
+	}
+}

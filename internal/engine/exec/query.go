@@ -1,0 +1,170 @@
+package exec
+
+import (
+	"lqs/internal/engine/storage"
+	"lqs/internal/engine/types"
+	"lqs/internal/opt"
+	"lqs/internal/plan"
+	"lqs/internal/sim"
+)
+
+// Query is one executing query: a plan, its operator tree, and the
+// execution context. The DMV layer snapshots its counters while it runs.
+type Query struct {
+	Plan *plan.Plan
+	Root Operator
+	Ctx  *Ctx
+
+	ops     map[int]Operator // by node ID
+	opened  bool
+	done    bool
+	rows    int64
+	started sim.Duration
+	ended   sim.Duration
+}
+
+// NewQuery builds the operator tree for a finalized, estimated plan over
+// the database, charging work to the given clock.
+func NewQuery(p *plan.Plan, db *storage.Database, cm *opt.CostModel, clock *sim.Clock) *Query {
+	q := &Query{
+		Plan: p,
+		Ctx:  &Ctx{Clock: clock, DB: db, CM: cm},
+		ops:  make(map[int]Operator, len(p.Nodes)),
+	}
+	q.Root = BuildOperator(p.Root, q.Ctx)
+	q.index(q.Root)
+	return q
+}
+
+func (q *Query) index(op Operator) {
+	q.ops[op.Counters().NodeID] = op
+	switch t := op.(type) {
+	case *ridLookup:
+		q.index(t.child)
+	case *filter:
+		q.index(t.child)
+	case *computeScalar:
+		q.index(t.child)
+	case *segment:
+		q.index(t.child)
+	case *concat:
+		for _, k := range t.kids {
+			q.index(k)
+		}
+	case *sortOp:
+		q.index(t.child)
+	case *topNSort:
+		q.index(t.child)
+	case *streamAgg:
+		q.index(t.child)
+	case *hashAgg:
+		q.index(t.child)
+	case *hashJoin:
+		q.index(t.probe)
+		q.index(t.build)
+	case *mergeJoin:
+		q.index(t.left)
+		q.index(t.right)
+	case *nestedLoops:
+		q.index(t.outer)
+		q.index(t.inner)
+	case *spool:
+		q.index(t.child)
+	case *bitmap:
+		q.index(t.child)
+	case *exchange:
+		q.index(t.child)
+	}
+}
+
+// Operator returns the operator for a plan node ID.
+func (q *Query) Operator(id int) Operator { return q.ops[id] }
+
+// Counters returns every operator's counters indexed by node ID.
+func (q *Query) Counters() map[int]*Counters {
+	out := make(map[int]*Counters, len(q.ops))
+	for id, op := range q.ops {
+		out[id] = op.Counters()
+	}
+	return out
+}
+
+// Started reports whether execution has begun and when.
+func (q *Query) Started() (sim.Duration, bool) { return q.started, q.opened }
+
+// Ended reports whether execution has finished and when.
+func (q *Query) Ended() (sim.Duration, bool) { return q.ended, q.done }
+
+// Done reports whether the query has finished.
+func (q *Query) Done() bool { return q.done }
+
+// RowsReturned is the number of rows the root has produced.
+func (q *Query) RowsReturned() int64 { return q.rows }
+
+// Step advances execution by up to n result rows, returning false when the
+// query completes. It opens the plan on first call.
+func (q *Query) Step(n int) bool {
+	if q.done {
+		return false
+	}
+	if !q.opened {
+		q.opened = true
+		q.started = q.Ctx.Clock.Now()
+		q.Root.Open(q.Ctx)
+	}
+	for i := 0; i < n; i++ {
+		_, ok := q.Root.Next(q.Ctx)
+		if !ok {
+			q.Root.Close(q.Ctx)
+			q.done = true
+			q.ended = q.Ctx.Clock.Now()
+			return false
+		}
+		q.rows++
+	}
+	return true
+}
+
+// Run executes the query to completion and returns the result row count.
+func (q *Query) Run() int64 {
+	for q.Step(1 << 12) {
+	}
+	return q.rows
+}
+
+// RunCollect executes to completion collecting result rows (tests and
+// examples; result sets in experiments are discarded by Run instead).
+func (q *Query) RunCollect() []types.Row {
+	if q.done {
+		return nil
+	}
+	if !q.opened {
+		q.opened = true
+		q.started = q.Ctx.Clock.Now()
+		q.Root.Open(q.Ctx)
+	}
+	var out []types.Row
+	for {
+		row, ok := q.Root.Next(q.Ctx)
+		if !ok {
+			break
+		}
+		out = append(out, row)
+		q.rows++
+	}
+	q.Root.Close(q.Ctx)
+	q.done = true
+	q.ended = q.Ctx.Clock.Now()
+	return out
+}
+
+// TrueCardinalities returns each operator's final row count (N_i^true),
+// available after the query completes; the experiment harness uses these
+// as the oracle denominators in the paper's error metrics.
+func (q *Query) TrueCardinalities() map[int]int64 {
+	out := make(map[int]int64, len(q.ops))
+	for id, op := range q.ops {
+		out[id] = op.Counters().Rows
+	}
+	return out
+}

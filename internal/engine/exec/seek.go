@@ -1,0 +1,150 @@
+package exec
+
+import (
+	"lqs/internal/engine/expr"
+	"lqs/internal/engine/storage"
+	"lqs/internal/engine/types"
+	"lqs/internal/plan"
+)
+
+// indexSeek descends a B-tree to a key range. Bounds are evaluated against
+// ctx.Bind at Open/Rewind time, so the same operator serves standalone
+// range seeks (empty bind row) and correlated seeks on the inner side of a
+// nested-loops join (the NL sets the bind row before each Rewind).
+type indexSeek struct {
+	base
+	cur      *storage.BTreeCursor
+	heap     *storage.Heap
+	keyCols  []int
+	predCost float64
+}
+
+func newIndexSeek(n *plan.Node) *indexSeek {
+	s := &indexSeek{}
+	s.init(n)
+	s.predCost = float64(expr.Cost(n.Pred))
+	return s
+}
+
+func (s *indexSeek) Open(ctx *Ctx) {
+	s.opened(ctx)
+	s.c.Rebinds-- // position() below counts the first execution
+	s.heap = ctx.DB.Heap(s.node.Table)
+	t := ctx.DB.Catalog.MustTable(s.node.Table)
+	if ix := t.Index(s.node.Index); ix != nil {
+		s.keyCols = ix.KeyCols
+	}
+	s.position(ctx)
+}
+
+func (s *indexSeek) Rewind(ctx *Ctx) { s.position(ctx) }
+
+// position re-evaluates the seek bounds against the bind row and descends
+// the tree, charging descent CPU and I/O.
+func (s *indexSeek) position(ctx *Ctx) {
+	s.c.Rebinds++
+	bt := ctx.DB.BTree(s.node.Table, s.node.Index)
+	lo := evalKeys(s.node.SeekLo, ctx.Bind)
+	hi := evalKeys(s.node.SeekHi, ctx.Bind)
+	s.cur = bt.Seek(lo, s.node.SeekLoInc, ctx.DB.Pool)
+	if hi != nil {
+		s.cur.SetUpper(hi, s.node.SeekHiInc)
+	}
+	ctx.chargeCPU(&s.c, float64(bt.Height())*ctx.CM.CPUSeekLevel)
+	ctx.chargeIO(&s.c, s.cur.DrainIO())
+}
+
+func evalKeys(keys []expr.Expr, bind types.Row) []types.Value {
+	if len(keys) == 0 {
+		return nil
+	}
+	out := make([]types.Value, len(keys))
+	for i, k := range keys {
+		out[i] = k.Eval(bind)
+	}
+	return out
+}
+
+func (s *indexSeek) Next(ctx *Ctx) (types.Row, bool) {
+	for {
+		e, ok := s.cur.Next()
+		ctx.chargeIO(&s.c, s.cur.DrainIO())
+		if !ok {
+			return nil, false
+		}
+		var row types.Row
+		if s.node.KeysOnly {
+			row = append(append(make(types.Row, 0, len(e.Key)+1), e.Key...), types.Int(e.RID))
+		} else if e.Row != nil {
+			row = e.Row
+		} else {
+			row = s.heap.RowNoIO(e.RID)
+		}
+		ctx.chargeCPU(&s.c, ctx.CM.CPUTuple)
+		if s.node.Pred != nil {
+			ctx.chargeCPU(&s.c, s.predCost*ctx.CM.CPUExprUnit)
+			if !expr.EvalPred(s.node.Pred, row) {
+				continue
+			}
+		}
+		s.emit()
+		return row, true
+	}
+}
+
+func (s *indexSeek) Close(ctx *Ctx) {
+	if s.c.Closed {
+		return
+	}
+	s.closed(ctx)
+}
+
+// ridLookup resolves each input row's trailing RID column to the full heap
+// row (bookmark lookup), charging a random page read per row.
+type ridLookup struct {
+	base
+	child Operator
+}
+
+func newRIDLookup(n *plan.Node, child Operator) *ridLookup {
+	l := &ridLookup{child: child}
+	l.init(n)
+	return l
+}
+
+func (l *ridLookup) Open(ctx *Ctx) {
+	l.opened(ctx)
+	l.child.Open(ctx)
+}
+
+func (l *ridLookup) Rewind(ctx *Ctx) {
+	l.c.Rebinds++
+	l.child.Rewind(ctx)
+}
+
+func (l *ridLookup) Next(ctx *Ctx) (types.Row, bool) {
+	for {
+		in, ok := l.child.Next(ctx)
+		if !ok {
+			return nil, false
+		}
+		rid, _ := in[len(in)-1].AsInt()
+		var io storage.IOCounts
+		row := ctx.DB.Heap(l.node.Table).Get(rid, ctx.DB.Pool, &io)
+		ctx.chargeIO(&l.c, io)
+		ctx.chargeCPU(&l.c, ctx.CM.CPUTuple)
+		if l.node.Pred != nil && !expr.EvalPred(l.node.Pred, row) {
+			continue
+		}
+		l.emit()
+		return row, true
+	}
+}
+
+func (l *ridLookup) Close(ctx *Ctx) {
+	if l.c.Closed {
+		return
+	}
+	l.child.Close(ctx)
+	l.closed(ctx)
+}

@@ -1,0 +1,248 @@
+package exec
+
+import (
+	"lqs/internal/engine/expr"
+	"lqs/internal/engine/types"
+	"lqs/internal/plan"
+)
+
+// filter passes rows satisfying its predicate.
+type filter struct {
+	base
+	child    Operator
+	predCost float64
+}
+
+func newFilter(n *plan.Node, child Operator) *filter {
+	f := &filter{child: child}
+	f.init(n)
+	f.predCost = float64(expr.Cost(n.Pred))
+	return f
+}
+
+func (f *filter) Open(ctx *Ctx) {
+	f.opened(ctx)
+	f.child.Open(ctx)
+}
+
+func (f *filter) Rewind(ctx *Ctx) {
+	f.c.Rebinds++
+	f.child.Rewind(ctx)
+}
+
+func (f *filter) Next(ctx *Ctx) (types.Row, bool) {
+	for {
+		row, ok := f.child.Next(ctx)
+		if !ok {
+			return nil, false
+		}
+		ctx.chargeCPU(&f.c, ctx.CM.CPUTuple+f.predCost*ctx.CM.CPUExprUnit)
+		if expr.EvalPred(f.node.Pred, row) {
+			f.emit()
+			return row, true
+		}
+	}
+}
+
+func (f *filter) Close(ctx *Ctx) {
+	if f.c.Closed {
+		return
+	}
+	f.child.Close(ctx)
+	f.closed(ctx)
+}
+
+// computeScalar appends computed expressions to each row.
+type computeScalar struct {
+	base
+	child Operator
+	cost  float64
+}
+
+func newComputeScalar(n *plan.Node, child Operator) *computeScalar {
+	c := &computeScalar{child: child}
+	c.init(n)
+	total := 0
+	for _, e := range n.Exprs {
+		total += expr.Cost(e)
+	}
+	c.cost = float64(total)
+	return c
+}
+
+func (c *computeScalar) Open(ctx *Ctx) {
+	c.opened(ctx)
+	c.child.Open(ctx)
+}
+
+func (c *computeScalar) Rewind(ctx *Ctx) {
+	c.c.Rebinds++
+	c.child.Rewind(ctx)
+}
+
+func (c *computeScalar) Next(ctx *Ctx) (types.Row, bool) {
+	row, ok := c.child.Next(ctx)
+	if !ok {
+		return nil, false
+	}
+	ctx.chargeCPU(&c.c, ctx.CM.CPUTuple+c.cost*ctx.CM.CPUExprUnit)
+	out := make(types.Row, 0, len(row)+len(c.node.Exprs))
+	out = append(out, row...)
+	for _, e := range c.node.Exprs {
+		out = append(out, e.Eval(row))
+	}
+	c.emit()
+	return out, true
+}
+
+func (c *computeScalar) Close(ctx *Ctx) {
+	if c.c.Closed {
+		return
+	}
+	c.child.Close(ctx)
+	c.closed(ctx)
+}
+
+// segment passes rows through while tracking group boundaries on its
+// grouping columns (consumers observe groups positionally).
+type segment struct {
+	base
+	child Operator
+	prev  types.Row
+}
+
+func newSegment(n *plan.Node, child Operator) *segment {
+	s := &segment{child: child}
+	s.init(n)
+	return s
+}
+
+func (s *segment) Open(ctx *Ctx) {
+	s.opened(ctx)
+	s.child.Open(ctx)
+}
+
+func (s *segment) Rewind(ctx *Ctx) {
+	s.c.Rebinds++
+	s.prev = nil
+	s.child.Rewind(ctx)
+}
+
+func (s *segment) Next(ctx *Ctx) (types.Row, bool) {
+	row, ok := s.child.Next(ctx)
+	if !ok {
+		return nil, false
+	}
+	ctx.chargeCPU(&s.c, ctx.CM.CPUTuple)
+	s.prev = row
+	s.emit()
+	return row, true
+}
+
+func (s *segment) Close(ctx *Ctx) {
+	if s.c.Closed {
+		return
+	}
+	s.child.Close(ctx)
+	s.closed(ctx)
+}
+
+// concat unions children in order (UNION ALL).
+type concat struct {
+	base
+	kids []Operator
+	pos  int
+}
+
+func newConcat(n *plan.Node, kids []Operator) *concat {
+	c := &concat{kids: kids}
+	c.init(n)
+	return c
+}
+
+func (c *concat) Open(ctx *Ctx) {
+	c.opened(ctx)
+	for _, k := range c.kids {
+		k.Open(ctx)
+	}
+}
+
+func (c *concat) Rewind(ctx *Ctx) {
+	c.c.Rebinds++
+	c.pos = 0
+	for _, k := range c.kids {
+		k.Rewind(ctx)
+	}
+}
+
+func (c *concat) Next(ctx *Ctx) (types.Row, bool) {
+	for c.pos < len(c.kids) {
+		row, ok := c.kids[c.pos].Next(ctx)
+		if ok {
+			ctx.chargeCPU(&c.c, ctx.CM.CPUTuple)
+			c.emit()
+			return row, true
+		}
+		c.pos++
+	}
+	return nil, false
+}
+
+func (c *concat) Close(ctx *Ctx) {
+	if c.c.Closed {
+		return
+	}
+	for _, k := range c.kids {
+		k.Close(ctx)
+	}
+	c.closed(ctx)
+}
+
+// bitmap populates its runtime bitmap filter from the child's key columns
+// and passes rows through; a probe-side scan consults the filter inside
+// the storage engine (§4.3).
+type bitmap struct {
+	base
+	child Operator
+}
+
+func newBitmap(n *plan.Node, child Operator) *bitmap {
+	b := &bitmap{child: child}
+	b.init(n)
+	return b
+}
+
+func (b *bitmap) Open(ctx *Ctx) {
+	b.opened(ctx)
+	b.child.Open(ctx)
+}
+
+func (b *bitmap) Rewind(ctx *Ctx) {
+	b.c.Rebinds++
+	b.child.Rewind(ctx)
+}
+
+func (b *bitmap) Next(ctx *Ctx) (types.Row, bool) {
+	row, ok := b.child.Next(ctx)
+	bf := ctx.Bitmaps[b.node.ID]
+	if !ok {
+		bf.complete = true
+		return nil, false
+	}
+	ctx.chargeCPU(&b.c, ctx.CM.CPUTuple+ctx.CM.CPUHashInsert)
+	bf.insert(row.HashCols(b.node.BitmapKeyCols))
+	b.emit()
+	return row, true
+}
+
+func (b *bitmap) Close(ctx *Ctx) {
+	if b.c.Closed {
+		return
+	}
+	// A semi-join reduction may close before draining (semi join short
+	// circuits); mark the bitmap complete only if the input really ended,
+	// which Next handles. Closing without completion is a plan bug that
+	// the probing scan's panic will surface.
+	b.child.Close(ctx)
+	b.closed(ctx)
+}

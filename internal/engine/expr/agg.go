@@ -1,0 +1,172 @@
+package expr
+
+import (
+	"fmt"
+
+	"lqs/internal/engine/types"
+)
+
+// AggKind enumerates the aggregate functions.
+type AggKind uint8
+
+// Aggregate functions.
+const (
+	CountStar AggKind = iota
+	Count
+	Sum
+	Min
+	Max
+	Avg
+)
+
+var aggNames = [...]string{"COUNT(*)", "COUNT", "SUM", "MIN", "MAX", "AVG"}
+
+// AggSpec describes one aggregate expression in a Group By.
+type AggSpec struct {
+	Kind AggKind
+	Arg  Expr // nil for COUNT(*)
+}
+
+// String renders the aggregate for plan display.
+func (a AggSpec) String() string {
+	if a.Kind == CountStar || a.Arg == nil {
+		return aggNames[a.Kind]
+	}
+	return fmt.Sprintf("%s(%s)", aggNames[a.Kind], a.Arg)
+}
+
+// AggState accumulates one aggregate over a group's rows.
+type AggState interface {
+	Add(row types.Row)
+	Result() types.Value
+}
+
+// NewAggState returns a fresh accumulator for the spec.
+func NewAggState(spec AggSpec) AggState {
+	switch spec.Kind {
+	case CountStar:
+		return &countState{star: true}
+	case Count:
+		return &countState{arg: spec.Arg}
+	case Sum:
+		return &sumState{arg: spec.Arg}
+	case Avg:
+		return &avgState{arg: spec.Arg}
+	case Min:
+		return &minMaxState{arg: spec.Arg, wantMin: true}
+	case Max:
+		return &minMaxState{arg: spec.Arg}
+	default:
+		panic(fmt.Sprintf("expr: unknown aggregate kind %d", spec.Kind))
+	}
+}
+
+type countState struct {
+	star bool
+	arg  Expr
+	n    int64
+}
+
+func (s *countState) Add(row types.Row) {
+	if s.star || !s.arg.Eval(row).IsNull() {
+		s.n++
+	}
+}
+
+func (s *countState) Result() types.Value { return types.Int(s.n) }
+
+type sumState struct {
+	arg    Expr
+	sum    float64
+	isum   int64
+	anyVal bool
+	asInt  bool
+	first  bool
+}
+
+func (s *sumState) Add(row types.Row) {
+	v := s.arg.Eval(row)
+	if v.IsNull() {
+		return
+	}
+	if !s.first {
+		s.first = true
+		s.asInt = v.K == types.KindInt
+	}
+	if v.K != types.KindInt {
+		s.asInt = false
+	}
+	f, ok := v.AsFloat()
+	if !ok {
+		return
+	}
+	s.sum += f
+	if i, ok := v.AsInt(); ok {
+		s.isum += i
+	}
+	s.anyVal = true
+}
+
+func (s *sumState) Result() types.Value {
+	if !s.anyVal {
+		return types.Null()
+	}
+	if s.asInt {
+		return types.Int(s.isum)
+	}
+	return types.Float(s.sum)
+}
+
+type avgState struct {
+	arg Expr
+	sum float64
+	n   int64
+}
+
+func (s *avgState) Add(row types.Row) {
+	v := s.arg.Eval(row)
+	if v.IsNull() {
+		return
+	}
+	if f, ok := v.AsFloat(); ok {
+		s.sum += f
+		s.n++
+	}
+}
+
+func (s *avgState) Result() types.Value {
+	if s.n == 0 {
+		return types.Null()
+	}
+	return types.Float(s.sum / float64(s.n))
+}
+
+type minMaxState struct {
+	arg     Expr
+	wantMin bool
+	best    types.Value
+	any     bool
+}
+
+func (s *minMaxState) Add(row types.Row) {
+	v := s.arg.Eval(row)
+	if v.IsNull() {
+		return
+	}
+	if !s.any {
+		s.best = v
+		s.any = true
+		return
+	}
+	c := types.Compare(v, s.best)
+	if (s.wantMin && c < 0) || (!s.wantMin && c > 0) {
+		s.best = v
+	}
+}
+
+func (s *minMaxState) Result() types.Value {
+	if !s.any {
+		return types.Null()
+	}
+	return s.best
+}

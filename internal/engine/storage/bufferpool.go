@@ -1,0 +1,91 @@
+// Package storage implements the engine's storage structures: heap tables
+// in fixed-size pages, clustered and secondary B+tree indexes, columnstore
+// row groups with per-column segments, and an LRU buffer pool that decides
+// which page accesses are logical (cached) versus physical (simulated disk
+// reads). The paper's §4.3 technique bases progress on logical I/O counts,
+// and the cost model charges different virtual time for logical and
+// physical reads, so the distinction matters for experiment fidelity.
+package storage
+
+import "container/list"
+
+// PageSize is the simulated page size in bytes, matching SQL Server's 8 KB
+// pages. Row-per-page packing, I/O counting, and the cost model all derive
+// from it.
+const PageSize = 8192
+
+// PageID identifies a page globally: an object (heap, index) plus a page
+// ordinal within it.
+type PageID struct {
+	Object uint32
+	Page   uint32
+}
+
+// IOCounts accumulates logical and physical page reads. Every logical read
+// that misses the buffer pool is also a physical read.
+type IOCounts struct {
+	Logical  int64
+	Physical int64
+}
+
+// Add accumulates other into c.
+func (c *IOCounts) Add(other IOCounts) {
+	c.Logical += other.Logical
+	c.Physical += other.Physical
+}
+
+// BufferPool is a simple LRU page cache. Access returns whether the page
+// had to be read physically. A capacity of zero disables caching (every
+// access is physical); this package never returns errors because the
+// simulated disk cannot fail.
+type BufferPool struct {
+	capacity int
+	lru      *list.List               // front = most recent
+	pages    map[PageID]*list.Element // value: PageID
+	hits     int64
+	misses   int64
+}
+
+// NewBufferPool returns a pool caching up to capacity pages.
+func NewBufferPool(capacity int) *BufferPool {
+	return &BufferPool{
+		capacity: capacity,
+		lru:      list.New(),
+		pages:    make(map[PageID]*list.Element),
+	}
+}
+
+// Access touches pid and reports whether the access was physical (a miss).
+func (bp *BufferPool) Access(pid PageID) (physical bool) {
+	if bp.capacity <= 0 {
+		bp.misses++
+		return true
+	}
+	if el, ok := bp.pages[pid]; ok {
+		bp.lru.MoveToFront(el)
+		bp.hits++
+		return false
+	}
+	bp.misses++
+	el := bp.lru.PushFront(pid)
+	bp.pages[pid] = el
+	if bp.lru.Len() > bp.capacity {
+		victim := bp.lru.Back()
+		bp.lru.Remove(victim)
+		delete(bp.pages, victim.Value.(PageID))
+	}
+	return true
+}
+
+// Stats returns cumulative hit and miss counts.
+func (bp *BufferPool) Stats() (hits, misses int64) { return bp.hits, bp.misses }
+
+// Resident reports the number of cached pages (for tests).
+func (bp *BufferPool) Resident() int { return bp.lru.Len() }
+
+// Clear evicts everything, simulating a cold cache between workload runs
+// so each query in an experiment starts from the same state.
+func (bp *BufferPool) Clear() {
+	bp.lru.Init()
+	bp.pages = make(map[PageID]*list.Element)
+}

@@ -1,0 +1,138 @@
+package storage
+
+import (
+	"fmt"
+
+	"lqs/internal/engine/catalog"
+	"lqs/internal/engine/types"
+)
+
+// Database ties a catalog to its physical structures: one heap per table,
+// plus whatever B-tree and columnstore indexes the catalog declares. It is
+// the "server side" state the execution engine runs against.
+type Database struct {
+	Catalog *catalog.Catalog
+	Pool    *BufferPool
+
+	heaps     map[string]*Heap
+	btrees    map[string]*BTree
+	colstores map[string]*ColumnStore
+	nextObj   uint32
+}
+
+// NewDatabase creates an empty database over the given catalog with a
+// buffer pool of poolPages pages.
+func NewDatabase(cat *catalog.Catalog, poolPages int) *Database {
+	return &Database{
+		Catalog:   cat,
+		Pool:      NewBufferPool(poolPages),
+		heaps:     make(map[string]*Heap),
+		btrees:    make(map[string]*BTree),
+		colstores: make(map[string]*ColumnStore),
+		nextObj:   1,
+	}
+}
+
+func (db *Database) allocObj() uint32 {
+	id := db.nextObj
+	db.nextObj++
+	return id
+}
+
+// Load stores rows into the named table's heap, seals page packing, builds
+// every declared index, and records the row count in the catalog. It
+// panics if the table is unknown or a row has the wrong arity — loader
+// bugs, not runtime conditions.
+func (db *Database) Load(table string, rows []types.Row) {
+	t := db.Catalog.MustTable(table)
+	for _, r := range rows {
+		if len(r) != len(t.Columns) {
+			panic(fmt.Sprintf("storage: row arity %d != schema arity %d for %s", len(r), len(t.Columns), table))
+		}
+	}
+	h := NewHeap(db.allocObj())
+	for _, r := range rows {
+		h.Append(r)
+	}
+	h.Seal()
+	db.heaps[table] = h
+	t.RowCount = h.NumRows()
+	t.Pages = h.NumPages()
+	db.buildIndexes(t, rows)
+}
+
+func (db *Database) buildIndexes(t *catalog.Table, rows []types.Row) {
+	for _, ix := range t.Indexes {
+		switch ix.Kind {
+		case catalog.BTree:
+			entries := make([]IndexEntry, len(rows))
+			for i, r := range rows {
+				key := make([]types.Value, len(ix.KeyCols))
+				for k, c := range ix.KeyCols {
+					key[k] = r[c]
+				}
+				e := IndexEntry{Key: key, RID: int64(i)}
+				if ix.Clustered {
+					e.Row = r
+				}
+				entries[i] = e
+			}
+			bt := BuildBTree(db.allocObj(), entries)
+			ix.LeafPages = bt.NumLeafPages()
+			ix.Height = bt.Height()
+			db.btrees[t.Name+"."+ix.Name] = bt
+		case catalog.ColumnStore:
+			cs := BuildColumnStore(db.allocObj(), rows, len(t.Columns))
+			ix.RowGroups = int64(cs.NumRowGroups())
+			db.colstores[t.Name+"."+ix.Name] = cs
+		}
+	}
+}
+
+// Heap returns the named table's heap; it panics if the table has no data.
+func (db *Database) Heap(table string) *Heap {
+	h := db.heaps[table]
+	if h == nil {
+		panic("storage: no heap for table " + table)
+	}
+	return h
+}
+
+// BTree returns the named B-tree index of a table.
+func (db *Database) BTree(table, index string) *BTree {
+	t := db.btrees[table+"."+index]
+	if t == nil {
+		panic(fmt.Sprintf("storage: no btree %s.%s", table, index))
+	}
+	return t
+}
+
+// ColumnStore returns the named columnstore index of a table.
+func (db *Database) ColumnStore(table, index string) *ColumnStore {
+	cs := db.colstores[table+"."+index]
+	if cs == nil {
+		panic(fmt.Sprintf("storage: no columnstore %s.%s", table, index))
+	}
+	return cs
+}
+
+// BuildAllStats computes histograms for every loaded table.
+func (db *Database) BuildAllStats(buckets int) {
+	for _, t := range db.Catalog.Tables() {
+		h := db.heaps[t.Name]
+		if h == nil {
+			continue
+		}
+		t.BuildStats(buckets, func(i int) []types.Value {
+			vals := make([]types.Value, 0, len(h.rows))
+			for _, r := range h.rows {
+				vals = append(vals, r[i])
+			}
+			return vals
+		})
+	}
+}
+
+// ColdStart clears the buffer pool, simulating a cold cache so successive
+// experiment queries see identical I/O behavior.
+func (db *Database) ColdStart() { db.Pool.Clear() }

@@ -1,0 +1,97 @@
+package types
+
+import (
+	"math"
+	"strings"
+)
+
+// mathFloat64bits avoids importing math in value.go's hot path twice; it is
+// a thin alias kept here with the row helpers.
+func mathFloat64bits(f float64) uint64 { return math.Float64bits(f) }
+
+// Row is a single tuple: a slice of values positioned by column ordinal.
+// Operators may retain rows they receive only until the next call to Next
+// on the same child; they copy when they buffer (sorts, spools, exchanges).
+type Row []Value
+
+// Clone returns a copy of the row that the caller may retain.
+func (r Row) Clone() Row {
+	out := make(Row, len(r))
+	copy(out, r)
+	return out
+}
+
+// Concat returns a new row holding r followed by other (used by joins).
+func (r Row) Concat(other Row) Row {
+	out := make(Row, 0, len(r)+len(other))
+	out = append(out, r...)
+	return append(out, other...)
+}
+
+// HashCols hashes the values at the given ordinals, for hash join and hash
+// aggregation key matching.
+func (r Row) HashCols(cols []int) uint64 {
+	var h uint64 = 1469598103934665603
+	for _, c := range cols {
+		h = h*1099511628211 ^ r[c].Hash()
+	}
+	return h
+}
+
+// EqualCols reports whether rows a and b agree on the given ordinals
+// (NULLs equal, grouping semantics).
+func EqualCols(a, b Row, acols, bcols []int) bool {
+	for i := range acols {
+		if !Equal(a[acols[i]], b[bcols[i]]) {
+			return false
+		}
+	}
+	return true
+}
+
+// CompareCols orders two rows by the given ordinals with per-key direction
+// (desc[i] true means descending). Missing desc entries default ascending.
+func CompareCols(a, b Row, acols, bcols []int, desc []bool) int {
+	for i := range acols {
+		c := Compare(a[acols[i]], b[bcols[i]])
+		if i < len(desc) && desc[i] {
+			c = -c
+		}
+		if c != 0 {
+			return c
+		}
+	}
+	return 0
+}
+
+// String renders the row for traces and debugging.
+func (r Row) String() string {
+	var sb strings.Builder
+	sb.WriteByte('(')
+	for i, v := range r {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(v.String())
+	}
+	sb.WriteByte(')')
+	return sb.String()
+}
+
+// Width returns an approximate stored width of the row in bytes, used by
+// the storage layer to pack heap pages and by the cost model for I/O
+// weighting.
+func (r Row) Width() int {
+	w := 0
+	for _, v := range r {
+		switch v.K {
+		case KindNull:
+			w++
+		case KindString:
+			w += 2 + len(v.S)
+		default:
+			w += 8
+		}
+	}
+	return w
+}

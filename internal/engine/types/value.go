@@ -1,0 +1,237 @@
+// Package types defines the value and row representation shared by the
+// storage engine, expression evaluator, and physical operators. It is the
+// lowest layer of the engine: everything above it (catalog, storage, expr,
+// exec) depends on these types and nothing here depends on anything else in
+// the repository.
+package types
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Kind identifies the runtime type of a Value.
+type Kind uint8
+
+const (
+	// KindNull is the SQL NULL marker; it compares below every non-null.
+	KindNull Kind = iota
+	// KindInt is a 64-bit signed integer.
+	KindInt
+	// KindFloat is a 64-bit IEEE float.
+	KindFloat
+	// KindString is an immutable byte string.
+	KindString
+)
+
+// String returns the SQL-ish name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindNull:
+		return "NULL"
+	case KindInt:
+		return "BIGINT"
+	case KindFloat:
+		return "FLOAT"
+	case KindString:
+		return "VARCHAR"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Value is a single SQL value. The zero Value is NULL.
+//
+// Value is a small struct passed by value throughout the engine; rows are
+// slices of them. The representation trades a little memory (one unused
+// field per value) for the absence of interface boxing on the hot
+// execution path.
+type Value struct {
+	K Kind
+	I int64
+	F float64
+	S string
+}
+
+// Null returns the NULL value.
+func Null() Value { return Value{} }
+
+// Int returns an integer value.
+func Int(v int64) Value { return Value{K: KindInt, I: v} }
+
+// Float returns a float value.
+func Float(v float64) Value { return Value{K: KindFloat, F: v} }
+
+// Str returns a string value.
+func Str(v string) Value { return Value{K: KindString, S: v} }
+
+// Bool encodes a boolean as the engine's canonical 0/1 integer.
+func Bool(b bool) Value {
+	if b {
+		return Int(1)
+	}
+	return Int(0)
+}
+
+// IsNull reports whether v is NULL.
+func (v Value) IsNull() bool { return v.K == KindNull }
+
+// IsTrue reports whether v is a non-null value that is "truthy" under the
+// engine's predicate semantics (non-zero number, non-empty string).
+func (v Value) IsTrue() bool {
+	switch v.K {
+	case KindInt:
+		return v.I != 0
+	case KindFloat:
+		return v.F != 0
+	case KindString:
+		return v.S != ""
+	default:
+		return false
+	}
+}
+
+// AsFloat converts a numeric value to float64. NULL converts to 0 with
+// ok=false; strings convert with ok=false.
+func (v Value) AsFloat() (f float64, ok bool) {
+	switch v.K {
+	case KindInt:
+		return float64(v.I), true
+	case KindFloat:
+		return v.F, true
+	default:
+		return 0, false
+	}
+}
+
+// AsInt converts a numeric value to int64 (floats truncate). NULL and
+// strings convert with ok=false.
+func (v Value) AsInt() (i int64, ok bool) {
+	switch v.K {
+	case KindInt:
+		return v.I, true
+	case KindFloat:
+		return int64(v.F), true
+	default:
+		return 0, false
+	}
+}
+
+// String renders the value for plans, traces, and debugging.
+func (v Value) String() string {
+	switch v.K {
+	case KindNull:
+		return "NULL"
+	case KindInt:
+		return strconv.FormatInt(v.I, 10)
+	case KindFloat:
+		return strconv.FormatFloat(v.F, 'g', -1, 64)
+	case KindString:
+		return "'" + v.S + "'"
+	default:
+		return fmt.Sprintf("Value<%d>", v.K)
+	}
+}
+
+// Compare orders two values: NULL < numbers < strings; ints and floats
+// compare numerically with each other. The result is -1, 0, or +1.
+//
+// This single total order backs sort operators, merge joins, B-tree keys,
+// and histogram bucketing, so every component agrees on ordering.
+func Compare(a, b Value) int {
+	ra, rb := rank(a.K), rank(b.K)
+	if ra != rb {
+		if ra < rb {
+			return -1
+		}
+		return 1
+	}
+	switch a.K {
+	case KindNull:
+		return 0
+	case KindString:
+		return strings.Compare(a.S, b.S)
+	case KindInt:
+		if b.K == KindInt {
+			switch {
+			case a.I < b.I:
+				return -1
+			case a.I > b.I:
+				return 1
+			default:
+				return 0
+			}
+		}
+		return cmpFloat(float64(a.I), b.F)
+	case KindFloat:
+		if b.K == KindInt {
+			return cmpFloat(a.F, float64(b.I))
+		}
+		return cmpFloat(a.F, b.F)
+	}
+	return 0
+}
+
+// rank groups kinds into comparison classes: NULL, numeric, string.
+func rank(k Kind) int {
+	switch k {
+	case KindNull:
+		return 0
+	case KindInt, KindFloat:
+		return 1
+	default:
+		return 2
+	}
+}
+
+func cmpFloat(a, b float64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Equal reports whether a and b compare equal. NULL equals NULL under this
+// function (grouping semantics); predicate three-valued logic is handled in
+// the expression layer.
+func Equal(a, b Value) bool { return Compare(a, b) == 0 }
+
+// Hash returns a 64-bit hash of v, consistent with Equal for values in the
+// same comparison class (ints and floats holding the same number hash
+// identically, so hash joins may join across the two numeric kinds).
+func (v Value) Hash() uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(b byte) { h = (h ^ uint64(b)) * prime64 }
+	switch v.K {
+	case KindNull:
+		mix(0)
+	case KindInt, KindFloat:
+		// Normalize numerics: integral floats hash as their int64 value.
+		var u uint64
+		if v.K == KindInt {
+			u = uint64(v.I)
+		} else if f := v.F; f == float64(int64(f)) {
+			u = uint64(int64(f))
+		} else {
+			u = mathFloat64bits(f)
+		}
+		for i := 0; i < 8; i++ {
+			mix(byte(u >> (8 * i)))
+		}
+	case KindString:
+		mix(2)
+		for i := 0; i < len(v.S); i++ {
+			mix(v.S[i])
+		}
+	}
+	return h
+}

@@ -1,0 +1,193 @@
+package types
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestValueConstructorsAndKinds(t *testing.T) {
+	cases := []struct {
+		v    Value
+		kind Kind
+	}{
+		{Null(), KindNull},
+		{Int(5), KindInt},
+		{Float(2.5), KindFloat},
+		{Str("x"), KindString},
+		{Bool(true), KindInt},
+	}
+	for _, c := range cases {
+		if c.v.K != c.kind {
+			t.Errorf("%v has kind %v, want %v", c.v, c.v.K, c.kind)
+		}
+	}
+	if !Null().IsNull() || Int(0).IsNull() {
+		t.Error("IsNull misclassifies")
+	}
+}
+
+func TestValueTruthiness(t *testing.T) {
+	if Null().IsTrue() || Int(0).IsTrue() || Float(0).IsTrue() || Str("").IsTrue() {
+		t.Error("falsey value reported true")
+	}
+	if !Int(1).IsTrue() || !Float(-0.5).IsTrue() || !Str("a").IsTrue() {
+		t.Error("truthy value reported false")
+	}
+}
+
+func TestValueConversions(t *testing.T) {
+	if f, ok := Int(3).AsFloat(); !ok || f != 3 {
+		t.Errorf("Int(3).AsFloat() = %v, %v", f, ok)
+	}
+	if i, ok := Float(3.9).AsInt(); !ok || i != 3 {
+		t.Errorf("Float(3.9).AsInt() = %v, %v", i, ok)
+	}
+	if _, ok := Str("3").AsInt(); ok {
+		t.Error("string converted to int")
+	}
+	if _, ok := Null().AsFloat(); ok {
+		t.Error("null converted to float")
+	}
+}
+
+func TestCompareOrdering(t *testing.T) {
+	// NULL < numbers < strings; ints and floats interleave numerically.
+	ordered := []Value{Null(), Int(-10), Float(-1.5), Int(0), Float(0.5), Int(1), Float(99.5), Int(100), Str(""), Str("a"), Str("b")}
+	for i := range ordered {
+		for j := range ordered {
+			got := Compare(ordered[i], ordered[j])
+			want := 0
+			if i < j {
+				want = -1
+			} else if i > j {
+				want = 1
+			}
+			if got != want {
+				t.Errorf("Compare(%v, %v) = %d, want %d", ordered[i], ordered[j], got, want)
+			}
+		}
+	}
+}
+
+func TestCompareIntFloatEquality(t *testing.T) {
+	if Compare(Int(7), Float(7)) != 0 {
+		t.Error("Int(7) != Float(7)")
+	}
+	if Int(7).Hash() != Float(7).Hash() {
+		t.Error("equal numerics hash differently")
+	}
+}
+
+func TestComparePropertyAntisymmetric(t *testing.T) {
+	gen := func(a, b int64, fa, fb float64, sa, sb string, pick uint8) bool {
+		mk := func(p uint8, i int64, f float64, s string) Value {
+			switch p % 4 {
+			case 0:
+				return Null()
+			case 1:
+				return Int(i)
+			case 2:
+				return Float(f)
+			default:
+				return Str(s)
+			}
+		}
+		x := mk(pick, a, fa, sa)
+		y := mk(pick>>2, b, fb, sb)
+		return Compare(x, y) == -Compare(y, x)
+	}
+	if err := quick.Check(gen, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestComparePropertyTransitiveViaSort(t *testing.T) {
+	vals := []Value{Str("zz"), Int(3), Float(2.5), Null(), Int(-1), Str("a"), Float(3), Int(3)}
+	sort.Slice(vals, func(i, j int) bool { return Compare(vals[i], vals[j]) < 0 })
+	for i := 1; i < len(vals); i++ {
+		if Compare(vals[i-1], vals[i]) > 0 {
+			t.Fatalf("sorted order violated at %d: %v", i, vals)
+		}
+	}
+}
+
+func TestHashEqualImpliesSameHash(t *testing.T) {
+	f := func(i int64, s string) bool {
+		return Int(i).Hash() == Int(i).Hash() && Str(s).Hash() == Str(s).Hash()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	if Str("ab").Hash() == Str("ba").Hash() {
+		t.Error("suspicious collision on permuted strings")
+	}
+}
+
+func TestRowCloneIndependence(t *testing.T) {
+	r := Row{Int(1), Str("x")}
+	c := r.Clone()
+	c[0] = Int(2)
+	if r[0].I != 1 {
+		t.Error("Clone aliases original")
+	}
+}
+
+func TestRowConcat(t *testing.T) {
+	r := Row{Int(1)}.Concat(Row{Str("a"), Int(2)})
+	if len(r) != 3 || r[0].I != 1 || r[1].S != "a" || r[2].I != 2 {
+		t.Errorf("Concat wrong: %v", r)
+	}
+}
+
+func TestRowHashAndEqualCols(t *testing.T) {
+	a := Row{Int(1), Str("x"), Int(5)}
+	b := Row{Int(5), Int(1), Str("x")}
+	if !EqualCols(a, b, []int{0, 1}, []int{1, 2}) {
+		t.Error("EqualCols false on matching projection")
+	}
+	if a.HashCols([]int{0, 1}) != b.HashCols([]int{1, 2}) {
+		t.Error("matching projections hash differently")
+	}
+	if EqualCols(a, b, []int{0}, []int{0}) {
+		t.Error("EqualCols true on mismatch")
+	}
+}
+
+func TestCompareColsDirections(t *testing.T) {
+	a := Row{Int(1), Int(9)}
+	b := Row{Int(1), Int(3)}
+	if CompareCols(a, b, []int{0, 1}, []int{0, 1}, nil) <= 0 {
+		t.Error("ascending compare wrong")
+	}
+	if CompareCols(a, b, []int{0, 1}, []int{0, 1}, []bool{false, true}) >= 0 {
+		t.Error("descending compare wrong")
+	}
+}
+
+func TestRowWidth(t *testing.T) {
+	r := Row{Int(1), Float(2), Str("abc"), Null()}
+	if w := r.Width(); w != 8+8+5+1 {
+		t.Errorf("Width = %d", w)
+	}
+}
+
+func TestValueString(t *testing.T) {
+	cases := map[string]Value{
+		"NULL": Null(), "42": Int(42), "'hi'": Str("hi"), "1.5": Float(1.5),
+	}
+	for want, v := range cases {
+		if got := v.String(); got != want {
+			t.Errorf("String() = %q, want %q", got, want)
+		}
+	}
+	if (Row{Int(1), Str("a")}).String() != "(1, 'a')" {
+		t.Error("Row.String format changed")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if KindInt.String() != "BIGINT" || KindNull.String() != "NULL" {
+		t.Error("Kind.String mismatch")
+	}
+}

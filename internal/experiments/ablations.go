@@ -1,0 +1,223 @@
+package experiments
+
+import (
+	"fmt"
+
+	"lqs/internal/engine/dmv"
+	"lqs/internal/engine/exec"
+	"lqs/internal/engine/expr"
+	"lqs/internal/metrics"
+	"lqs/internal/opt"
+	"lqs/internal/plan"
+	"lqs/internal/progress"
+	"lqs/internal/sim"
+	"lqs/internal/workload"
+)
+
+// The ablation and future-work experiments below go beyond the paper's
+// figures: they quantify the design choices DESIGN.md §4 calls out and the
+// §7 future-work items implemented in internal/progress.
+
+// ablationWorkloads keeps the ablations fast: the two benchmark suites.
+var ablationWorkloads = []string{"TPC-DS", "TPC-H"}
+
+// compare runs two estimator configurations over workloads with the given
+// per-query metric and renders a two-column table.
+func (s *Suite) compare(id, title, colA, colB string,
+	optA, optB progress.Options,
+	metric func(p *plan.Plan, tr *dmv.Trace, w *workload.Workload, o progress.Options) (float64, bool),
+	notes ...string) *Result {
+	res := &Result{
+		ID:     id,
+		Title:  title,
+		Header: []string{"workload", colA, colB, "queries"},
+		Notes:  notes,
+	}
+	for _, name := range ablationWorkloads {
+		w := s.Workload(name)
+		var sa, sb float64
+		n := 0
+		s.runner(name).ForEach(w, func(q workload.Query, p *plan.Plan, tr *dmv.Trace) {
+			a, ok1 := metric(p, tr, w, optA)
+			bv, ok2 := metric(p, tr, w, optB)
+			if ok1 && ok2 {
+				sa += a
+				sb += bv
+				n++
+			}
+		})
+		if n == 0 {
+			continue
+		}
+		res.Rows = append(res.Rows, []string{name, f3(sa / float64(n)), f3(sb / float64(n)), fmt.Sprint(n)})
+	}
+	return res
+}
+
+// AblationPath compares summing weighted progress over all pipelines (this
+// engine's serial-execution default) against the paper's longest-path rule.
+func (s *Suite) AblationPath() *Result {
+	all := progress.LQSOptions()
+	path := progress.LQSOptions()
+	path.LongestPathOnly = true
+	return s.compare("AblationPath",
+		"Errortime: all-pipelines vs longest-path weighting",
+		"AllPipelines", "LongestPath", all, path, metrics.ErrorTime,
+		"the paper's longest-path rule models overlapped pipelines; this engine runs them serially (DESIGN.md §4b)")
+}
+
+// AblationInterp compares §4.1's direct scale-up against the prior-work
+// linear interpolation [22] the paper rejects for slow convergence.
+func (s *Suite) AblationInterp() *Result {
+	direct := progress.LQSOptions()
+	interp := progress.LQSOptions()
+	interp.InterpRefine = true
+	return s.compare("AblationInterp",
+		"Errorcount: direct scale-up vs linear-interpolation refinement [22]",
+		"DirectScaleUp", "Interpolation", direct, interp, metrics.ErrorCount,
+		"§4.1: interpolation 'converges very slowly for highly erroneous initial estimates'")
+}
+
+// FWPropagate evaluates §7 future-work item (a): propagating refined
+// cardinalities (not just bounds) across pipeline boundaries.
+func (s *Suite) FWPropagate() *Result {
+	// Propagation only matters when (1) a pipeline's cardinality is badly
+	// misestimated, (2) its refinement has happened, and (3) a consumer
+	// *beyond a blocking boundary* depends on it — a conjunction rare
+	// enough in the benchmark suites that the paper left this as future
+	// work. The experiment therefore uses the targeted scenario: a
+	// misestimated filtered scan feeding a key-grouped aggregate (whose
+	// optimizer estimate is capped by the wrong input) whose output
+	// drives an expensive downstream nested-loop pipeline. The metric is
+	// Errortime; bounds stay off to isolate propagation from clamping.
+	w := s.Workload("TPC-H")
+	b := w.Builder()
+	li := b.TableScan("lineitem",
+		nil, expr.Gt(row2(b, "lineitem", "l_quantity"), expr.KInt(10)))
+	agg := b.HashAgg(li,
+		[]int{w.DB.Catalog.MustTable("lineitem").MustCol("l_orderkey")},
+		[]expr.AggSpec{{Kind: expr.Sum, Arg: row2(b, "lineitem", "l_extendedprice")}})
+	inner := b.SeekEq("orders", "pk", []expr.Expr{expr.C(0, "l_orderkey")}, nil)
+	nl := b.NestedLoopsNode(plan.LogicalInnerJoin, agg, inner, nil)
+	root := b.Sort(nl, []int{1}, []bool{true})
+
+	p := plan.Finalize(root)
+	est := opt.NewEstimator(w.DB.Catalog)
+	est.NodeMultiplier = func(n *plan.Node) float64 {
+		if n == li {
+			return 0.05 // stale statistics: 20x under-estimate
+		}
+		return 1
+	}
+	est.Estimate(p)
+	clock := simNewClock()
+	poller := dmv.NewPoller(clock, metrics.DefaultInterval)
+	w.DB.ColdStart()
+	query := exec.NewQuery(p, w.DB, opt.DefaultCostModel(), clock)
+	poller.Register(query)
+	query.Run()
+	tr := poller.Finish(query)
+
+	base := progress.LQSOptions()
+	base.Bound = false
+	prop := base
+	prop.PropagateRefined = true
+	eB := progress.NewEstimator(p, w.DB.Catalog, base)
+	eP := progress.NewEstimator(p, w.DB.Catalog, prop)
+	res := &Result{
+		ID:     "FW-Propagate",
+		Title:  "Query progress under stale statistics: refined-cardinality propagation (§7a)",
+		Header: []string{"t", "NoPropagation", "RefinedPropagation", "true"},
+		Notes: []string{
+			"targeted scenario: 20x-underestimated scan → key-grouped aggregate → nested-loop",
+			"pipeline whose estimated duration depends on the aggregate's cardinality; bounds",
+			"off to isolate propagation from the Appendix A clamps",
+		},
+	}
+	var errB, errP float64
+	for _, snap := range tr.Snapshots {
+		truth := float64(snap.At-tr.StartedAt) / float64(tr.EndedAt-tr.StartedAt)
+		errB += mathAbs(eB.Estimate(snap).Query - truth)
+		errP += mathAbs(eP.Estimate(snap).Query - truth)
+	}
+	for _, i := range sampleIndices(len(tr.Snapshots), 14) {
+		snap := tr.Snapshots[i]
+		truth := float64(snap.At-tr.StartedAt) / float64(tr.EndedAt-tr.StartedAt)
+		res.Rows = append(res.Rows, []string{
+			snap.At.String(), f3(eB.Estimate(snap).Query), f3(eP.Estimate(snap).Query), f3(truth),
+		})
+	}
+	n := float64(len(tr.Snapshots))
+	res.Notes = append(res.Notes, fmt.Sprintf("Errortime: %.3f without propagation vs %.3f with", errB/n, errP/n))
+	return res
+}
+
+// row2 resolves a single-table column reference (local helper mirroring the
+// workload package's rowOf for one table).
+func row2(b *plan.Builder, table, column string) *expr.Col {
+	return expr.C(b.Cat.MustTable(table).MustCol(column), table+"."+column)
+}
+
+func mathAbs(f float64) float64 {
+	if f < 0 {
+		return -f
+	}
+	return f
+}
+
+func simNewClock() *sim.Clock { return sim.NewClock() }
+
+// dmvNewPoller attaches a default-interval poller to a clock.
+func dmvNewPoller(clock *sim.Clock) *dmv.Poller {
+	return dmv.NewPoller(clock, metrics.DefaultInterval)
+}
+
+// FWWeights evaluates §7 future-work item (b): calibrating operator
+// weights from a prior execution of the workload.
+func (s *Suite) FWWeights() *Result {
+	res := &Result{
+		ID:     "FW-Weights",
+		Title:  "Errortime: cost-model weights vs weights calibrated from a prior run (§7b)",
+		Header: []string{"workload", "CostModelWeights", "CalibratedWeights", "queries"},
+		Notes: []string{
+			"pass 1 runs the workload and records observed per-row operator costs;",
+			"pass 2 re-estimates the same traces with the calibrated weights.",
+			"filtered leaf scans keep cost-model weights (their per-output cost is",
+			"per-query selectivity, not an operator-class property)",
+		},
+	}
+	for _, name := range ablationWorkloads {
+		w := s.Workload(name)
+		// Pass 1: trace everything once, collecting traces + feedback.
+		fb := progress.NewFeedback()
+		type rec struct {
+			p  *plan.Plan
+			tr *dmv.Trace
+		}
+		var recs []rec
+		s.runner(name).ForEach(w, func(q workload.Query, p *plan.Plan, tr *dmv.Trace) {
+			fb.Observe(p, tr)
+			recs = append(recs, rec{p, tr})
+		})
+		// Pass 2: evaluate both weight sources over the recorded traces.
+		base := progress.LQSOptions()
+		cal := progress.LQSOptions()
+		cal.WeightFeedback = fb
+		var sb, sc float64
+		n := 0
+		for _, r := range recs {
+			a, ok1 := metrics.ErrorTime(r.p, r.tr, w, base)
+			b, ok2 := metrics.ErrorTime(r.p, r.tr, w, cal)
+			if ok1 && ok2 {
+				sb += a
+				sc += b
+				n++
+			}
+		}
+		if n == 0 {
+			continue
+		}
+		res.Rows = append(res.Rows, []string{name, f3(sb / float64(n)), f3(sc / float64(n)), fmt.Sprint(n)})
+	}
+	return res
+}

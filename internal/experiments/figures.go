@@ -1,0 +1,516 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"lqs/internal/engine/dmv"
+	"lqs/internal/engine/expr"
+	"lqs/internal/metrics"
+	"lqs/internal/plan"
+	"lqs/internal/progress"
+	"lqs/internal/workload"
+)
+
+// findQuery locates a named query in a workload.
+func findQuery(w *workload.Workload, name string) workload.Query {
+	for _, q := range w.Queries {
+		if q.Name == name {
+			return q
+		}
+	}
+	panic("experiments: no query " + name + " in " + w.Name)
+}
+
+// sampleIndices picks up to n evenly spaced indices from [0, total).
+func sampleIndices(total, n int) []int {
+	if total <= n {
+		out := make([]int, total)
+		for i := range out {
+			out[i] = i
+		}
+		return out
+	}
+	out := make([]int, n)
+	for i := 0; i < n; i++ {
+		out[i] = i * (total - 1) / (n - 1)
+	}
+	return out
+}
+
+// Fig8 reproduces Figures 7/8: the Parallelism (exchange) operator lags
+// its nested-loop child because producers run ahead into the exchange
+// buffer; the K_i ratio between the two is large early and shrinks over
+// time (the paper measures 88x and 12x at two points).
+func (s *Suite) Fig8() *Result {
+	w := s.Workload("TPC-DS")
+	b := w.Builder()
+	cust := b.TableScan("customer", nil, nil)
+	inner := b.SeekEq("store_sales", "ix_cust",
+		[]expr.Expr{expr.C(0, "c_custkey")}, nil)
+	nl := b.NestedLoopsNode(plan.LogicalInnerJoin, cust, inner, nil)
+	ex := b.ExchangeNode(nl, plan.GatherStreams)
+	ex.ExchangeStartup = 4096
+	ex.ExchangeAhead = 2
+	q := workload.Query{Name: "Fig8", Build: func(*plan.Builder) *plan.Node { return ex }}
+	_, tr := metrics.TraceQuery(w, q, metrics.DefaultInterval)
+
+	res := &Result{
+		ID:     "Fig8",
+		Title:  "GetNext counts: Nested Loop vs Parallelism over time",
+		Header: []string{"t", "K(NestedLoop)", "K(Parallelism)", "ratio"},
+	}
+	// Ratio statistics over every snapshot (the extreme ratios occur just
+	// after the consumer's first row, between display samples).
+	maxRatio, lastRatio := 0.0, 0.0
+	for _, snap := range tr.Snapshots {
+		kn, ke := snap.Op(nl.ID).ActualRows, snap.Op(ex.ID).ActualRows
+		if ke > 0 {
+			r := float64(kn) / float64(ke)
+			if r > maxRatio {
+				maxRatio = r
+			}
+			lastRatio = r
+		}
+	}
+	for _, i := range sampleIndices(len(tr.Snapshots), 18) {
+		snap := tr.Snapshots[i]
+		kn := snap.Op(nl.ID).ActualRows
+		ke := snap.Op(ex.ID).ActualRows
+		ratio := math.Inf(1)
+		if ke > 0 {
+			ratio = float64(kn) / float64(ke)
+		}
+		res.Rows = append(res.Rows, []string{
+			snap.At.String(), fmt.Sprint(kn), fmt.Sprint(ke), f2(ratio),
+		})
+	}
+	res.Notes = append(res.Notes,
+		fmt.Sprintf("max K-ratio %.0fx, final K-ratio %.1fx (paper: 88x early, 12x later)", maxRatio, lastRatio),
+		"the child's GetNext count leads the exchange's by the buffer occupancy (§4.4)")
+	return res
+}
+
+// Fig11 reproduces Figure 11: Hash Aggregate progress under the
+// output-only GetNext model versus the two-phase input+output model of
+// §4.5, against true progress (fraction of the operator's active window).
+func (s *Suite) Fig11() *Result {
+	w := s.Workload("TPC-DS")
+	p, tr := metrics.TraceQuery(w, findQuery(w, "Q13"), metrics.DefaultInterval)
+	// Q13's root is the hash aggregate.
+	aggID := p.Root.ID
+
+	outOnly := progress.LQSOptions()
+	outOnly.TwoPhaseBlocking = false
+	eOut := progress.NewEstimator(p, w.DB.Catalog, outOnly)
+	eTwo := progress.NewEstimator(p, w.DB.Catalog, progress.LQSOptions())
+
+	opened := tr.Final.Op(aggID).OpenedAt
+	if f := tr.Final.Op(aggID); f.FirstActive && f.FirstActiveAt > opened {
+		opened = f.FirstActiveAt
+	}
+	closed := tr.Final.Op(aggID).ClosedAt
+
+	res := &Result{
+		ID:     "Fig11",
+		Title:  "Hash Aggregate progress: output-only vs two-phase model (TPC-DS Q13)",
+		Header: []string{"t", "output-only", "input+output", "true"},
+	}
+	var errOut, errTwo float64
+	n := 0
+	var rows [][]string
+	for _, snap := range tr.Snapshots {
+		if snap.At < opened || snap.At > closed {
+			continue
+		}
+		truth := float64(snap.At-opened) / float64(closed-opened)
+		po := eOut.Estimate(snap).Op[aggID]
+		pt := eTwo.Estimate(snap).Op[aggID]
+		errOut += math.Abs(po - truth)
+		errTwo += math.Abs(pt - truth)
+		n++
+		rows = append(rows, []string{snap.At.String(), f3(po), f3(pt), f3(truth)})
+	}
+	for _, i := range sampleIndices(len(rows), 18) {
+		res.Rows = append(res.Rows, rows[i])
+	}
+	if n > 0 {
+		res.Notes = append(res.Notes, fmt.Sprintf(
+			"avg |err|: output-only %.3f vs two-phase %.3f over %d samples (paper: output-only sits at 0%% for nearly the whole operator)",
+			errOut/float64(n), errTwo/float64(n), n))
+	}
+	return res
+}
+
+// Fig12 reproduces Figure 12: weighted vs unweighted query progress over
+// time for the TPC-DS Q21 analog.
+func (s *Suite) Fig12() *Result {
+	w := s.Workload("TPC-DS")
+	p, tr := metrics.TraceQuery(w, findQuery(w, "Q21"), metrics.DefaultInterval)
+	unw := progress.LQSOptions()
+	unw.Weighted = false
+	eU := progress.NewEstimator(p, w.DB.Catalog, unw)
+	eW := progress.NewEstimator(p, w.DB.Catalog, progress.LQSOptions())
+
+	res := &Result{
+		ID:     "Fig12",
+		Title:  "Query progress with and without operator weights (TPC-DS Q21)",
+		Header: []string{"t", "unweighted", "weighted", "true"},
+	}
+	var errU, errW float64
+	for _, snap := range tr.Snapshots {
+		truth := float64(snap.At-tr.StartedAt) / float64(tr.EndedAt-tr.StartedAt)
+		errU += math.Abs(eU.Estimate(snap).Query - truth)
+		errW += math.Abs(eW.Estimate(snap).Query - truth)
+	}
+	for _, i := range sampleIndices(len(tr.Snapshots), 18) {
+		snap := tr.Snapshots[i]
+		truth := float64(snap.At-tr.StartedAt) / float64(tr.EndedAt-tr.StartedAt)
+		res.Rows = append(res.Rows, []string{
+			snap.At.String(),
+			f3(eU.Estimate(snap).Query),
+			f3(eW.Estimate(snap).Query),
+			f3(truth),
+		})
+	}
+	n := float64(len(tr.Snapshots))
+	res.Notes = append(res.Notes,
+		fmt.Sprintf("Errortime: unweighted %.3f vs weighted %.3f", errU/n, errW/n),
+		"both estimators underestimate early while the random-I/O pipeline runs; the weighted one",
+		"over-credits that pipeline afterwards because per-seek cost estimates ignore caching (a",
+		"limitation the paper states in §4.6). Fig16 shows weights winning on every full workload.")
+	return res
+}
+
+// Fig13 reproduces Figure 13: two estimators roughly 0.1 apart in error on
+// TPC-DS Q36. The paper's figure illustrates how large such a gap looks;
+// we recreate the situation that produces it — a gross optimizer
+// cardinality misestimate that the bare TGN estimator swallows whole while
+// the full LQS estimator refines it away at runtime.
+func (s *Suite) Fig13() *Result {
+	w := s.Workload("TPC-DS")
+	p, tr := metrics.TraceQuery(w, findQuery(w, "Q36"), metrics.DefaultInterval)
+	// Inject a 12x overestimate on the join pyramid (as a bad selectivity
+	// guess would), after execution so the trace itself is unaffected.
+	for _, n := range p.Nodes {
+		if n.Physical == plan.HashJoin || n.Physical == plan.ComputeScalar {
+			n.EstRows *= 12
+		}
+	}
+	e1 := progress.NewEstimator(p, w.DB.Catalog, progress.TGNOptions())
+	e2 := progress.NewEstimator(p, w.DB.Catalog, progress.LQSOptions())
+	res := &Result{
+		ID:     "Fig13",
+		Title:  "Two progress estimators on TPC-DS Q36",
+		Header: []string{"t", "estimator1(TGN)", "estimator2(LQS)", "true"},
+	}
+	var err1, err2 float64
+	for _, snap := range tr.Snapshots {
+		truth := float64(snap.At-tr.StartedAt) / float64(tr.EndedAt-tr.StartedAt)
+		err1 += math.Abs(e1.Estimate(snap).Query - truth)
+		err2 += math.Abs(e2.Estimate(snap).Query - truth)
+	}
+	for _, i := range sampleIndices(len(tr.Snapshots), 18) {
+		snap := tr.Snapshots[i]
+		truth := float64(snap.At-tr.StartedAt) / float64(tr.EndedAt-tr.StartedAt)
+		res.Rows = append(res.Rows, []string{
+			snap.At.String(),
+			f3(e1.Estimate(snap).Query),
+			f3(e2.Estimate(snap).Query),
+			f3(truth),
+		})
+	}
+	n := float64(len(tr.Snapshots))
+	res.Notes = append(res.Notes, fmt.Sprintf(
+		"avg errors: %.3f vs %.3f (difference %.3f; the paper illustrates that ~0.1 is a big visual gap)",
+		err1/n, err2/n, math.Abs(err1-err2)/n))
+	return res
+}
+
+// fig14Configs are the three estimator configurations of Figure 14. The
+// experiment isolates the accuracy of the N_i terms (the paper compares
+// against progress computed with exact N_i), so the progress model is held
+// fixed at the oracle's own TGN shape and only the N̂ derivation varies.
+// (The paper's third configuration also switches to driver-node query
+// progress; with this engine's accurate synthetic base estimates that
+// model change dominates the N_i effect being measured, so we keep the
+// cleaner ablation — see EXPERIMENTS.md.)
+func fig14Configs() (none, boundOnly, full progress.Options) {
+	none = progress.TGNOptions()
+	boundOnly = progress.Options{Bound: true}
+	full = progress.Options{
+		Refine: true, Bound: true, SemiBlocking: true,
+		StoragePredIO: true, BatchMode: true,
+	}
+	return
+}
+
+// Fig14 reproduces Figure 14: average Errorcount per workload under (a)
+// no refinement, (b) bounding only, (c) bounding + refinement.
+func (s *Suite) Fig14() *Result {
+	none, boundOnly, full := fig14Configs()
+	res := &Result{
+		ID:     "Fig14",
+		Title:  "Avg Errorcount per query",
+		Header: []string{"workload", "NoRefinement", "BoundingOnly", "Bounding+Refinement", "queries"},
+	}
+	for _, name := range workloadNames {
+		w := s.Workload(name)
+		var sums [3]float64
+		n := 0
+		s.runner(name).ForEach(w, func(q workload.Query, p *plan.Plan, tr *dmv.Trace) {
+			a, ok1 := metrics.ErrorCount(p, tr, w, none)
+			b, ok2 := metrics.ErrorCount(p, tr, w, boundOnly)
+			c, ok3 := metrics.ErrorCount(p, tr, w, full)
+			if ok1 && ok2 && ok3 {
+				sums[0] += a
+				sums[1] += b
+				sums[2] += c
+				n++
+			}
+		})
+		if n == 0 {
+			continue
+		}
+		res.Rows = append(res.Rows, []string{
+			name, f3(sums[0] / float64(n)), f3(sums[1] / float64(n)), f3(sums[2] / float64(n)), fmt.Sprint(n),
+		})
+	}
+	res.Notes = append(res.Notes, "expected shape: each column improves on the previous (paper Fig. 14)")
+	return res
+}
+
+// Fig15 reproduces Figure 15: per-operator Errorcount under (a) no
+// refinement, (b) §4.1 refinement, (c) refinement + §4.4 semi-blocking
+// adjustments, aggregated across all five workloads.
+func (s *Suite) Fig15() *Result {
+	configs := []progress.Options{
+		{},
+		{Refine: true},
+		{Refine: true, SemiBlocking: true},
+	}
+	accs := []metrics.OpErrors{{}, {}, {}}
+	for _, name := range workloadNames {
+		w := s.Workload(name)
+		s.runner(name).ForEach(w, func(q workload.Query, p *plan.Plan, tr *dmv.Trace) {
+			for i, o := range configs {
+				metrics.AccumOpErrorCount(p, tr, w, o, accs[i])
+			}
+		})
+	}
+	res := &Result{
+		ID:     "Fig15",
+		Title:  "Per-operator Errorcount: refinement and semi-blocking adjustments",
+		Header: []string{"operator", "NoRefinement", "Refinement", "Refinement+SemiBlocking", "samples"},
+	}
+	present := map[plan.PhysicalOp]bool{}
+	for op := range accs[0] {
+		present[op] = true
+	}
+	for _, op := range sortedOps(present) {
+		res.Rows = append(res.Rows, []string{
+			op.String(),
+			f3(accs[0][op].Avg()),
+			f3(avgOr(accs[1], op)),
+			f3(avgOr(accs[2], op)),
+			fmt.Sprint(accs[0][op].N),
+		})
+	}
+	res.Notes = append(res.Notes, "expected shape: semi-blocking adjustments help nearly every operator type (paper Fig. 15)")
+	return res
+}
+
+func avgOr(oe metrics.OpErrors, op plan.PhysicalOp) float64 {
+	if a, ok := oe[op]; ok {
+		return a.Avg()
+	}
+	return 0
+}
+
+// Fig16 reproduces Figure 16: average Errortime per workload with and
+// without the §4.6 operator weights.
+func (s *Suite) Fig16() *Result {
+	weighted := progress.LQSOptions()
+	unweighted := progress.LQSOptions()
+	unweighted.Weighted = false
+	res := &Result{
+		ID:     "Fig16",
+		Title:  "Avg Errortime per query: weighted vs unweighted",
+		Header: []string{"workload", "WithWeight", "WithoutWeight", "queries"},
+	}
+	for _, name := range workloadNames {
+		w := s.Workload(name)
+		var sw, su float64
+		n := 0
+		s.runner(name).ForEach(w, func(q workload.Query, p *plan.Plan, tr *dmv.Trace) {
+			a, ok1 := metrics.ErrorTime(p, tr, w, weighted)
+			b, ok2 := metrics.ErrorTime(p, tr, w, unweighted)
+			if ok1 && ok2 {
+				sw += a
+				su += b
+				n++
+			}
+		})
+		if n == 0 {
+			continue
+		}
+		res.Rows = append(res.Rows, []string{name, f3(sw / float64(n)), f3(su / float64(n)), fmt.Sprint(n)})
+	}
+	res.Notes = append(res.Notes, "expected shape: weights improve time correlation on every workload (paper Fig. 16)")
+	return res
+}
+
+// Fig17 reproduces Figure 17: Errortime for blocking operators (Hash
+// Aggregate / Sort) under the output-only model vs the two-phase model.
+func (s *Suite) Fig17() *Result {
+	outOnly := progress.LQSOptions()
+	outOnly.TwoPhaseBlocking = false
+	two := progress.LQSOptions()
+	accOut, accTwo := metrics.OpErrors{}, metrics.OpErrors{}
+	for _, name := range workloadNames {
+		w := s.Workload(name)
+		s.runner(name).ForEach(w, func(q workload.Query, p *plan.Plan, tr *dmv.Trace) {
+			metrics.AccumOpErrorTime(p, tr, w, outOnly, accOut)
+			metrics.AccumOpErrorTime(p, tr, w, two, accTwo)
+		})
+	}
+	res := &Result{
+		ID:     "Fig17",
+		Title:  "Errortime for blocking operators: output-only vs input+output model",
+		Header: []string{"operator", "OutputNiOnly", "Input+OutputNi", "samples"},
+	}
+	for _, op := range []plan.PhysicalOp{plan.HashAggregate, plan.Sort, plan.TopNSort, plan.DistinctSort} {
+		if accOut[op] == nil {
+			continue
+		}
+		res.Rows = append(res.Rows, []string{
+			op.String(), f3(accOut[op].Avg()), f3(avgOr(accTwo, op)), fmt.Sprint(accOut[op].N),
+		})
+	}
+	res.Notes = append(res.Notes, "expected shape: the two-phase model reduces error for Hash and Sort (paper Fig. 17)")
+	return res
+}
+
+// Fig18 reproduces Figure 18: average Errortime on TPC-H under the
+// row-store design vs the columnstore design.
+func (s *Suite) Fig18() *Result {
+	res := &Result{
+		ID:     "Fig18",
+		Title:  "Avg Errortime: TPC-H vs TPC-H ColumnStore",
+		Header: []string{"design", "Errortime", "queries"},
+	}
+	for _, name := range []string{"TPC-H", "TPC-H ColumnStore"} {
+		w := s.Workload(name)
+		var sum float64
+		n := 0
+		s.runner(name).ForEach(w, func(q workload.Query, p *plan.Plan, tr *dmv.Trace) {
+			if v, ok := metrics.ErrorTime(p, tr, w, progress.LQSOptions()); ok {
+				sum += v
+				n++
+			}
+		})
+		res.Rows = append(res.Rows, []string{name, f3(sum / float64(max1(n))), fmt.Sprint(n)})
+	}
+	res.Notes = append(res.Notes, "expected shape: the columnstore design reduces average error significantly (paper Fig. 18)")
+	return res
+}
+
+// Fig19 reproduces Figure 19: operator frequency across the TPC-H suite
+// under the two physical designs.
+func (s *Suite) Fig19() *Result {
+	rfreq := metrics.OperatorFrequency(s.Workload("TPC-H"))
+	cfreq := metrics.OperatorFrequency(s.Workload("TPC-H ColumnStore"))
+	present := map[plan.PhysicalOp]bool{}
+	for op := range rfreq {
+		present[op] = true
+	}
+	for op := range cfreq {
+		present[op] = true
+	}
+	res := &Result{
+		ID:     "Fig19",
+		Title:  "Operator frequency by physical design",
+		Header: []string{"operator", "TPC-H ColumnStore", "TPC-H"},
+	}
+	for _, op := range sortedOps(present) {
+		res.Rows = append(res.Rows, []string{op.String(), fmt.Sprint(cfreq[op]), fmt.Sprint(rfreq[op])})
+	}
+	res.Notes = append(res.Notes,
+		"expected shape: the columnstore design collapses the plan space onto scans + hash operators (paper Fig. 19)")
+	return res
+}
+
+// Fig20 reproduces Figure 20: per-operator Errortime under the two TPC-H
+// physical designs.
+func (s *Suite) Fig20() *Result {
+	accR, accC := metrics.OpErrors{}, metrics.OpErrors{}
+	for name, acc := range map[string]metrics.OpErrors{"TPC-H": accR, "TPC-H ColumnStore": accC} {
+		w := s.Workload(name)
+		s.runner(name).ForEach(w, func(q workload.Query, p *plan.Plan, tr *dmv.Trace) {
+			metrics.AccumOpErrorTime(p, tr, w, progress.LQSOptions(), acc)
+		})
+	}
+	present := map[plan.PhysicalOp]bool{}
+	for op := range accR {
+		present[op] = true
+	}
+	for op := range accC {
+		present[op] = true
+	}
+	res := &Result{
+		ID:     "Fig20",
+		Title:  "Per-operator Errortime by physical design",
+		Header: []string{"operator", "TPC-H ColumnStore", "TPC-H"},
+	}
+	for _, op := range sortedOps(present) {
+		cVal, rVal := "-", "-"
+		if accC[op] != nil {
+			cVal = f3(accC[op].Avg())
+		}
+		if accR[op] != nil {
+			rVal = f3(accR[op].Avg())
+		}
+		res.Rows = append(res.Rows, []string{op.String(), cVal, rVal})
+	}
+	res.Notes = append(res.Notes, "expected shape: per-operator error drops for operators in the columnstore design (paper Fig. 20)")
+	return res
+}
+
+// TableA1 demonstrates the Appendix A bounding rules live: the bounds at
+// mid-execution of a TPC-H query, against the optimizer estimate and true
+// cardinality. (The rules themselves are unit-tested per operator in
+// internal/progress/bounds_test.go.)
+func (s *Suite) TableA1() *Result {
+	w := s.Workload("TPC-H")
+	p, tr := metrics.TraceQuery(w, findQuery(w, "Q3"), metrics.DefaultInterval)
+	est := progress.NewEstimator(p, w.DB.Catalog, progress.Options{Bound: true, Refine: true, SemiBlocking: true})
+	snap := tr.Snapshots[len(tr.Snapshots)/2]
+	e := est.Estimate(snap)
+	res := &Result{
+		ID:     "TableA1",
+		Title:  "Cardinality bounds mid-execution (TPC-H Q3, halfway point)",
+		Header: []string{"node", "operator", "K_i", "LB", "UB", "optimizer", "refined", "true N_i"},
+	}
+	for _, n := range p.Nodes {
+		ub := "inf"
+		if !math.IsInf(e.Bounds[n.ID].UB, 1) {
+			ub = f2(e.Bounds[n.ID].UB)
+		}
+		res.Rows = append(res.Rows, []string{
+			fmt.Sprint(n.ID), n.Logical.String(),
+			fmt.Sprint(snap.Op(n.ID).ActualRows),
+			f2(e.Bounds[n.ID].LB), ub,
+			f2(n.EstRows), f2(e.N[n.ID]),
+			fmt.Sprint(tr.TrueRows[n.ID]),
+		})
+	}
+	res.Notes = append(res.Notes, "every true N_i must lie within [LB, UB]")
+	return res
+}
+
+func max1(n int) int {
+	if n < 1 {
+		return 1
+	}
+	return n
+}

@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"fmt"
+
+	"lqs/internal/engine/exec"
+	"lqs/internal/engine/expr"
+	"lqs/internal/opt"
+	"lqs/internal/plan"
+	"lqs/internal/progress"
+	"lqs/internal/sim"
+)
+
+// FWSpill evaluates the paper's first §7 future-work item: "more
+// fine-grained information on the internal state of blocking operators
+// such as Hash and Sort." The engine implements external sort spilling and
+// exposes the merge progress through extended DMV counters
+// (InternalDone/InternalTotal); the experiment runs a spilling sort and
+// compares the sort's progress under three models:
+//
+//	output-only  — the unmodified GetNext model (§3.1.2),
+//	two-phase    — the paper's shipping §4.5 input/output model,
+//	+internal    — the §7 extension consuming the internal-state counters.
+//
+// The two-phase model stalls while the merge passes run (the paper's Fig.
+// 17 commentary: "even more intricate models may be needed" for "large
+// sorts with multiple merge steps"); the internal counters close the gap.
+func (s *Suite) FWSpill() *Result {
+	w := s.Workload("TPC-H")
+	b := w.Builder()
+	// A 30000-row sort with a 2048-row memory budget → 2 merge passes.
+	scan := b.TableScan("lineitem", nil, nil)
+	comp := b.ComputeScalar(scan,
+		expr.Times(row2(b, "lineitem", "l_extendedprice"),
+			expr.Minus(expr.KInt(1), row2(b, "lineitem", "l_discount"))))
+	srt := b.Sort(comp, []int{comp.Width - 1}, []bool{true})
+
+	p := plan.Finalize(srt)
+	cm := opt.DefaultCostModel()
+	cm.SortMemoryRows = 2048
+	est := opt.NewEstimator(w.DB.Catalog)
+	est.CM = cm
+	est.Estimate(p)
+	clock := sim.NewClock()
+	poller := dmvNewPoller(clock)
+	w.DB.ColdStart()
+	query := exec.NewQuery(p, w.DB, cm, clock)
+	poller.Register(query)
+	query.Run()
+	tr := poller.Finish(query)
+
+	outOnly := progress.LQSOptions()
+	outOnly.TwoPhaseBlocking = false
+	twoPhase := progress.LQSOptions()
+	internal := progress.LQSOptions()
+	internal.InternalCounters = true
+	eO := progress.NewEstimator(p, w.DB.Catalog, outOnly)
+	eT := progress.NewEstimator(p, w.DB.Catalog, twoPhase)
+	eI := progress.NewEstimator(p, w.DB.Catalog, internal)
+
+	opened := tr.Final.Op(srt.ID).OpenedAt
+	if f := tr.Final.Op(srt.ID); f.FirstActive && f.FirstActiveAt > opened {
+		opened = f.FirstActiveAt
+	}
+	closed := tr.Final.Op(srt.ID).ClosedAt
+
+	res := &Result{
+		ID:     "FW-Spill",
+		Title:  "Spilled-sort progress: GetNext vs two-phase vs §7 internal-state counters",
+		Header: []string{"t", "output-only", "two-phase", "+internal", "true"},
+		Notes: []string{
+			fmt.Sprintf("30000-row sort, %d-row memory budget → %d external merge passes",
+				cm.SortMemoryRows, cm.SortMergePasses(30000)),
+		},
+	}
+	var errO, errT, errI float64
+	n := 0
+	var rows [][]string
+	for _, snap := range tr.Snapshots {
+		if snap.At < opened || snap.At > closed {
+			continue
+		}
+		truth := float64(snap.At-opened) / float64(closed-opened)
+		po := eO.Estimate(snap).Op[srt.ID]
+		pt := eT.Estimate(snap).Op[srt.ID]
+		pi := eI.Estimate(snap).Op[srt.ID]
+		errO += mathAbs(po - truth)
+		errT += mathAbs(pt - truth)
+		errI += mathAbs(pi - truth)
+		n++
+		rows = append(rows, []string{snap.At.String(), f3(po), f3(pt), f3(pi), f3(truth)})
+	}
+	for _, i := range sampleIndices(len(rows), 16) {
+		res.Rows = append(res.Rows, rows[i])
+	}
+	if n > 0 {
+		res.Notes = append(res.Notes, fmt.Sprintf(
+			"sort Errortime: output-only %.3f, two-phase %.3f, +internal %.3f over %d samples",
+			errO/float64(n), errT/float64(n), errI/float64(n), n))
+	}
+	return res
+}

@@ -1,0 +1,199 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Section 5) against the simulated engine. Each experiment is
+// a method on Suite producing a Result — the same rows/series the paper
+// reports — which cmd/lqsbench renders as text.
+//
+// Absolute numbers differ from the paper (the substrate is a simulator,
+// not the authors' 100 GB testbed); the reproduction target is the shape:
+// which technique wins, roughly by how much, and where.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"lqs/internal/metrics"
+	"lqs/internal/plan"
+	"lqs/internal/workload"
+)
+
+// Config controls experiment scale.
+type Config struct {
+	// Seed drives all data and workload generation.
+	Seed uint64
+	// Quick subsamples the large REAL workloads (stride) so the full
+	// suite completes in tens of seconds; the default full mode traces
+	// every query, as the paper does.
+	Quick bool
+}
+
+// Suite lazily builds and caches the five workloads (plus the columnstore
+// TPC-H design) so experiments sharing a workload pay generation once.
+type Suite struct {
+	Cfg   Config
+	cache map[string]*workload.Workload
+}
+
+// NewSuite returns a Suite for the config.
+func NewSuite(cfg Config) *Suite {
+	if cfg.Seed == 0 {
+		cfg.Seed = 42
+	}
+	return &Suite{Cfg: cfg, cache: make(map[string]*workload.Workload)}
+}
+
+// workloadNames is the paper's presentation order (Fig. 14/16).
+var workloadNames = []string{"REAL-3", "REAL-2", "REAL-1", "TPC-DS", "TPC-H"}
+
+// Workload returns a cached workload by name ("TPC-H", "TPC-H ColumnStore",
+// "TPC-DS", "REAL-1", "REAL-2", "REAL-3").
+func (s *Suite) Workload(name string) *workload.Workload {
+	if w, ok := s.cache[name]; ok {
+		return w
+	}
+	var w *workload.Workload
+	switch name {
+	case "TPC-H":
+		w = workload.TPCH(s.Cfg.Seed, workload.TPCHRowstore)
+	case "TPC-H ColumnStore":
+		w = workload.TPCH(s.Cfg.Seed, workload.TPCHColumnstore)
+	case "TPC-DS":
+		w = workload.TPCDS(s.Cfg.Seed)
+	case "REAL-1":
+		w = workload.REAL1(s.Cfg.Seed)
+	case "REAL-2":
+		w = workload.REAL2(s.Cfg.Seed)
+	case "REAL-3":
+		w = workload.REAL3(s.Cfg.Seed)
+	default:
+		panic("experiments: unknown workload " + name)
+	}
+	s.cache[name] = w
+	return w
+}
+
+// runner returns the per-workload tracing runner; Quick mode strides the
+// big REAL workloads down to ~60 queries.
+func (s *Suite) runner(name string) metrics.Runner {
+	r := metrics.Runner{}
+	if s.Cfg.Quick {
+		switch name {
+		case "REAL-1":
+			r.Stride = 8
+		case "REAL-2":
+			r.Stride = 11
+		}
+	}
+	return r
+}
+
+// Result is one experiment's output.
+type Result struct {
+	ID    string
+	Title string
+	Notes []string
+	// Tabular payload.
+	Header []string
+	Rows   [][]string
+}
+
+// Render formats the result as a text table.
+func (r *Result) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "=== %s: %s ===\n", r.ID, r.Title)
+	for _, n := range r.Notes {
+		fmt.Fprintf(&sb, "# %s\n", n)
+	}
+	widths := make([]int, len(r.Header))
+	for i, h := range r.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range r.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[i], cell)
+		}
+		sb.WriteByte('\n')
+	}
+	line(r.Header)
+	sep := make([]string, len(r.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range r.Rows {
+		line(row)
+	}
+	return sb.String()
+}
+
+// Registry maps experiment IDs to their drivers, in paper order.
+type entry struct {
+	id    string
+	title string
+	run   func(s *Suite) *Result
+}
+
+func registry() []entry {
+	return []entry{
+		{"Fig8", "GetNext lag between a Nested Loop and its Parallelism parent", (*Suite).Fig8},
+		{"Fig11", "Two-phase model for Hash Aggregate (TPC-DS Q13)", (*Suite).Fig11},
+		{"Fig12", "Weighted vs unweighted query progress (TPC-DS Q21)", (*Suite).Fig12},
+		{"Fig13", "Two estimators on TPC-DS Q36", (*Suite).Fig13},
+		{"Fig14", "Errorcount: refinement and bounding across workloads", (*Suite).Fig14},
+		{"Fig15", "Per-operator Errorcount: refinement and semi-blocking adjustments", (*Suite).Fig15},
+		{"Fig16", "Errortime: weighted vs unweighted across workloads", (*Suite).Fig16},
+		{"Fig17", "Errortime for blocking operators: output-only vs two-phase", (*Suite).Fig17},
+		{"Fig18", "Errortime: TPC-H rowstore vs columnstore design", (*Suite).Fig18},
+		{"Fig19", "Operator frequency by physical design", (*Suite).Fig19},
+		{"Fig20", "Per-operator Errortime by physical design", (*Suite).Fig20},
+		{"TableA1", "Cardinality bounds in action (Appendix A)", (*Suite).TableA1},
+		{"AblationPath", "All-pipelines vs longest-path weighting", (*Suite).AblationPath},
+		{"AblationInterp", "Direct scale-up vs interpolation refinement", (*Suite).AblationInterp},
+		{"FW-Propagate", "§7(a): refined-cardinality propagation", (*Suite).FWPropagate},
+		{"FW-Weights", "§7(b): weight calibration from prior runs", (*Suite).FWWeights},
+		{"FW-Spill", "§7: internal-state counters for spilled sorts", (*Suite).FWSpill},
+	}
+}
+
+// IDs lists all experiment identifiers in order.
+func IDs() []string {
+	var out []string
+	for _, e := range registry() {
+		out = append(out, e.id)
+	}
+	return out
+}
+
+// Run executes one experiment by ID.
+func (s *Suite) Run(id string) (*Result, error) {
+	for _, e := range registry() {
+		if strings.EqualFold(e.id, id) {
+			return e.run(s), nil
+		}
+	}
+	return nil, fmt.Errorf("experiments: unknown id %q (have %v)", id, IDs())
+}
+
+// sortedOps returns operator types sorted by display name for stable rows.
+func sortedOps(set map[plan.PhysicalOp]bool) []plan.PhysicalOp {
+	var ops []plan.PhysicalOp
+	for op := range set {
+		ops = append(ops, op)
+	}
+	sort.Slice(ops, func(i, j int) bool { return ops[i].String() < ops[j].String() })
+	return ops
+}
+
+func f3(v float64) string { return fmt.Sprintf("%.3f", v) }
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }

@@ -1,0 +1,174 @@
+// Package lqs is the user-facing Live Query Statistics layer: it ties a
+// running query to the client-side progress estimator and produces the
+// artifact SSMS renders (paper §2.3) — overall query progress, per-operator
+// progress and row counts, and active-pipeline indicators — plus a plain
+// text plan animator used by cmd/lqsmon and the examples.
+package lqs
+
+import (
+	"fmt"
+	"strings"
+
+	"lqs/internal/engine/dmv"
+	"lqs/internal/engine/exec"
+	"lqs/internal/engine/storage"
+	"lqs/internal/opt"
+	"lqs/internal/plan"
+	"lqs/internal/progress"
+	"lqs/internal/sim"
+)
+
+// Session monitors one executing query: it polls the DMV surface on the
+// query's clock and computes progress estimates on demand.
+type Session struct {
+	Query     *exec.Query
+	Estimator *progress.Estimator
+
+	plan *plan.Plan
+	db   *storage.Database
+}
+
+// Attach creates a monitoring session for a query with the given estimator
+// options (LQSOptions for the shipping configuration).
+func Attach(q *exec.Query, db *storage.Database, o progress.Options) *Session {
+	return &Session{
+		Query:     q,
+		Estimator: progress.NewEstimator(q.Plan, db.Catalog, o),
+		plan:      q.Plan,
+		db:        db,
+	}
+}
+
+// Start builds, estimates, and prepares a query over the database, ready
+// to Step and Snapshot. It is the one-stop entry point the examples use.
+func Start(db *storage.Database, root *plan.Node, o progress.Options) *Session {
+	p := plan.Finalize(root)
+	opt.NewEstimator(db.Catalog).Estimate(p)
+	q := exec.NewQuery(p, db, opt.DefaultCostModel(), sim.NewClock())
+	return Attach(q, db, o)
+}
+
+// Step advances the query by up to n result rows; false when complete.
+func (s *Session) Step(n int) bool { return s.Query.Step(n) }
+
+// Done reports whether the query has finished.
+func (s *Session) Done() bool { return s.Query.Done() }
+
+// OpStatus is one operator's live state, as displayed under each plan node.
+type OpStatus struct {
+	NodeID   int
+	Name     string
+	Progress float64
+	// RowsSoFar and EstRows are the counts the §2.3.1 troubleshooting
+	// workflow compares: actual rows already far above the optimizer
+	// estimate betray a cardinality estimation problem mid-flight.
+	RowsSoFar int64
+	EstRows   float64
+	RefinedN  float64
+	Elapsed   sim.Duration
+	Active    bool
+	Done      bool
+}
+
+// QuerySnapshot is one poll's worth of display state.
+type QuerySnapshot struct {
+	At       sim.Duration
+	Progress float64
+	Ops      []OpStatus // indexed by node ID
+	// ActivePipelines marks pipelines with work in flight — the animated
+	// dotted arrows of the SSMS visualization.
+	ActivePipelines []bool
+}
+
+// Snapshot polls the DMV surface and estimates progress right now.
+func (s *Session) Snapshot() *QuerySnapshot {
+	snap := dmv.Capture(s.Query)
+	est := s.Estimator.Estimate(snap)
+	out := &QuerySnapshot{
+		At:              snap.At,
+		Progress:        est.Query,
+		Ops:             make([]OpStatus, len(s.plan.Nodes)),
+		ActivePipelines: make([]bool, len(s.Estimator.Decomp.Pipelines)),
+	}
+	for _, n := range s.plan.Nodes {
+		op := snap.Op(n.ID)
+		elapsed := sim.Duration(0)
+		if op.Opened {
+			end := op.LastActive
+			if op.Closed {
+				end = op.ClosedAt
+			}
+			if end > op.OpenedAt {
+				elapsed = end - op.OpenedAt
+			}
+		}
+		out.Ops[n.ID] = OpStatus{
+			NodeID:    n.ID,
+			Name:      n.Physical.String(),
+			Progress:  est.Op[n.ID],
+			RowsSoFar: op.ActualRows,
+			EstRows:   n.EstRows,
+			RefinedN:  est.N[n.ID],
+			Elapsed:   elapsed,
+			Active:    op.Opened && !op.Closed,
+			Done:      op.Closed,
+		}
+	}
+	for _, pl := range s.Estimator.Decomp.Pipelines {
+		prog := est.PipelineProg[pl.ID]
+		out.ActivePipelines[pl.ID] = prog > 0 && prog < 1
+	}
+	return out
+}
+
+// Render draws the plan tree with live per-operator progress, the text
+// analog of the SSMS showplan overlay (Fig. 2): overall progress at the
+// top, then each operator with its progress bar, percentage, row counts,
+// and elapsed time; still-executing pipeline edges render dotted.
+func (s *Session) Render(q *QuerySnapshot) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "query progress: %5.1f%%   t=%v\n", q.Progress*100, q.At)
+	var walk func(n *plan.Node, depth int)
+	walk = func(n *plan.Node, depth int) {
+		st := q.Ops[n.ID]
+		edge := "── "
+		if st.Active {
+			edge = "┄┄ " // dotted: pipeline still running
+		}
+		indent := strings.Repeat("   ", depth)
+		fmt.Fprintf(&sb, "%s%s%-22s %s %5.1f%%  rows=%d (est %.0f) %v\n",
+			indent, edge, n.Physical.String(), bar(st.Progress, 10),
+			st.Progress*100, st.RowsSoFar, st.EstRows, st.Elapsed)
+		for _, c := range n.Children {
+			walk(c, depth+1)
+		}
+	}
+	walk(s.plan.Root, 0)
+	return sb.String()
+}
+
+func bar(frac float64, width int) string {
+	full := int(frac * float64(width))
+	if full > width {
+		full = width
+	}
+	if full < 0 {
+		full = 0
+	}
+	return "[" + strings.Repeat("█", full) + strings.Repeat("░", width-full) + "]"
+}
+
+// Monitor steps the query to completion, invoking observe at every poll
+// interval of virtual time, and returns the number of result rows. It is
+// the loop cmd/lqsmon and the examples drive.
+func (s *Session) Monitor(interval sim.Duration, observe func(*QuerySnapshot)) int64 {
+	s.Query.Ctx.Clock.Observe(interval, func(sim.Duration) {
+		if !s.Query.Done() {
+			observe(s.Snapshot())
+		}
+	})
+	for s.Step(256) {
+	}
+	observe(s.Snapshot())
+	return s.Query.RowsReturned()
+}

@@ -1,0 +1,119 @@
+package lqs
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"lqs/internal/engine/catalog"
+	"lqs/internal/engine/expr"
+	"lqs/internal/engine/storage"
+	"lqs/internal/engine/types"
+	"lqs/internal/plan"
+	"lqs/internal/progress"
+	"lqs/internal/sim"
+)
+
+func testDB(tb testing.TB) *storage.Database {
+	tb.Helper()
+	cat := catalog.NewCatalog()
+	tt := catalog.NewTable("t",
+		catalog.Column{Name: "id", Kind: types.KindInt},
+		catalog.Column{Name: "g", Kind: types.KindInt},
+		catalog.Column{Name: "v", Kind: types.KindFloat},
+	)
+	cat.Add(tt)
+	db := storage.NewDatabase(cat, 1<<18)
+	rows := make([]types.Row, 8000)
+	for i := range rows {
+		rows[i] = types.Row{types.Int(int64(i)), types.Int(int64(i % 16)), types.Float(float64(i))}
+	}
+	db.Load("t", rows)
+	db.BuildAllStats(16)
+	return db
+}
+
+func testPlan(db *storage.Database) *plan.Node {
+	b := plan.NewBuilder(db.Catalog)
+	agg := b.HashAgg(b.TableScan("t", nil, nil), []int{1},
+		[]expr.AggSpec{{Kind: expr.Sum, Arg: expr.C(2, "v")}})
+	return b.Sort(agg, []int{1}, []bool{true})
+}
+
+func TestSessionMonitorRunsToCompletion(t *testing.T) {
+	db := testDB(t)
+	s := Start(db, testPlan(db), progress.LQSOptions())
+	var snaps []*QuerySnapshot
+	rows := s.Monitor(100*time.Microsecond, func(q *QuerySnapshot) { snaps = append(snaps, q) })
+	if rows != 16 {
+		t.Fatalf("query returned %d rows", rows)
+	}
+	if len(snaps) < 3 {
+		t.Fatalf("only %d observations", len(snaps))
+	}
+	last := snaps[len(snaps)-1]
+	if last.Progress < 0.99 {
+		t.Fatalf("final progress %v", last.Progress)
+	}
+	// Earlier snapshots show partial progress.
+	mid := snaps[len(snaps)/2]
+	if mid.Progress <= 0 || mid.Progress >= 1 {
+		t.Fatalf("mid progress %v not in (0,1)", mid.Progress)
+	}
+}
+
+func TestSnapshotOpStatus(t *testing.T) {
+	db := testDB(t)
+	s := Start(db, testPlan(db), progress.LQSOptions())
+	s.Step(1) // scan + agg build complete, sort emitting
+	q := s.Snapshot()
+	if len(q.Ops) != 3 {
+		t.Fatalf("%d ops", len(q.Ops))
+	}
+	scan := q.Ops[2]
+	if scan.RowsSoFar != 8000 || !scan.Done {
+		t.Fatalf("scan status %+v", scan)
+	}
+	if scan.Progress != 1 {
+		t.Fatalf("closed scan progress %v", scan.Progress)
+	}
+	if q.Ops[0].Active != true {
+		t.Fatal("root sort should be active mid-output")
+	}
+}
+
+func TestRenderContainsPlanAndBars(t *testing.T) {
+	db := testDB(t)
+	s := Start(db, testPlan(db), progress.LQSOptions())
+	s.Step(4)
+	out := s.Render(s.Snapshot())
+	for _, want := range []string{"query progress:", "Sort", "Hash Aggregate", "Table Scan", "rows=8000", "["} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestActivePipelinesFlag(t *testing.T) {
+	db := testDB(t)
+	s := Start(db, testPlan(db), progress.LQSOptions())
+	// Drive a little of the query via a clock observer so we catch the
+	// scan mid-flight.
+	var sawActive bool
+	s.Query.Ctx.Clock.Observe(50*time.Microsecond, func(sim.Duration) {
+		if s.Query.Done() {
+			return
+		}
+		q := s.Snapshot()
+		for _, a := range q.ActivePipelines {
+			if a {
+				sawActive = true
+			}
+		}
+	})
+	for s.Step(64) {
+	}
+	if !sawActive {
+		t.Fatal("no pipeline ever reported active")
+	}
+}

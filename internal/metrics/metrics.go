@@ -1,0 +1,247 @@
+// Package metrics implements the paper's Section 5 evaluation machinery:
+// traced query execution (run once, evaluate many estimator configurations
+// over the recorded DMV snapshots) and the two error measures —
+//
+//	Errorcount: mean |Prog(Q,t) − Σk_i(t)/ΣN_i^true| over observations,
+//	            the accuracy of the N_i estimates themselves;
+//	Errortime:  mean |Prog(Q,t) − elapsed-time fraction|, how well the
+//	            estimate correlates with wall-clock (virtual) time.
+//
+// Per-operator variants restrict either measure to the operators of one
+// physical type, as Figures 15, 17, and 20 do.
+package metrics
+
+import (
+	"math"
+
+	"lqs/internal/engine/dmv"
+	"lqs/internal/engine/exec"
+	"lqs/internal/opt"
+	"lqs/internal/plan"
+	"lqs/internal/progress"
+	"lqs/internal/sim"
+	"lqs/internal/workload"
+)
+
+// DefaultInterval is the virtual-time sampling interval used by the
+// experiment harness. The paper samples every second of a multi-minute
+// query; scaled to the simulator's millisecond-scale queries this yields a
+// comparable number of observations per query.
+const DefaultInterval = 100 * sim.Duration(1000) // 100µs
+
+// MinSnapshots is the minimum number of observations for a query to count
+// toward an average (ultra-short queries carry no progress signal).
+const MinSnapshots = 3
+
+// TraceQuery executes one workload query under the DMV poller and returns
+// its finalized plan and trace.
+func TraceQuery(w *workload.Workload, q workload.Query, interval sim.Duration) (*plan.Plan, *dmv.Trace) {
+	p := plan.Finalize(q.Build(w.Builder()))
+	opt.NewEstimator(w.DB.Catalog).Estimate(p)
+	clock := sim.NewClock()
+	poller := dmv.NewPoller(clock, interval)
+	w.DB.ColdStart()
+	query := exec.NewQuery(p, w.DB, opt.DefaultCostModel(), clock)
+	poller.Register(query)
+	query.Run()
+	return p, poller.Finish(query)
+}
+
+// Runner iterates a workload's queries, tracing each once.
+type Runner struct {
+	// Interval is the poll interval (DefaultInterval when zero).
+	Interval sim.Duration
+	// Limit caps the number of queries traced (0 = all); the first Limit
+	// queries are used, keeping runs deterministic.
+	Limit int
+	// Stride samples every Stride-th query (0/1 = every query), for quick
+	// passes over the large REAL workloads.
+	Stride int
+}
+
+// ForEach traces queries and invokes fn on each usable trace.
+func (r Runner) ForEach(w *workload.Workload, fn func(q workload.Query, p *plan.Plan, tr *dmv.Trace)) {
+	interval := r.Interval
+	if interval == 0 {
+		interval = DefaultInterval
+	}
+	stride := r.Stride
+	if stride < 1 {
+		stride = 1
+	}
+	count := 0
+	for i := 0; i < len(w.Queries); i += stride {
+		if r.Limit > 0 && count >= r.Limit {
+			break
+		}
+		q := w.Queries[i]
+		p, tr := TraceQuery(w, q, interval)
+		if len(tr.Snapshots) < MinSnapshots {
+			continue
+		}
+		count++
+		fn(q, p, tr)
+	}
+}
+
+// oracleProgress is the Errorcount reference: Equation 2 with unit weights
+// and the exact N_i known after completion.
+func oracleProgress(tr *dmv.Trace, s *dmv.Snapshot) float64 {
+	var num, den float64
+	for id, n := range tr.TrueRows {
+		num += float64(s.Op(id).ActualRows)
+		den += float64(n)
+	}
+	if den == 0 {
+		return 1
+	}
+	return num / den
+}
+
+// timeFraction is the Errortime reference.
+func timeFraction(tr *dmv.Trace, s *dmv.Snapshot) float64 {
+	total := tr.EndedAt - tr.StartedAt
+	if total <= 0 {
+		return 1
+	}
+	return float64(s.At-tr.StartedAt) / float64(total)
+}
+
+// ErrorCount computes a query's Errorcount for an estimator configuration.
+func ErrorCount(p *plan.Plan, tr *dmv.Trace, w *workload.Workload, o progress.Options) (float64, bool) {
+	return queryError(p, tr, w, o, oracleProgress)
+}
+
+// ErrorTime computes a query's Errortime for an estimator configuration.
+func ErrorTime(p *plan.Plan, tr *dmv.Trace, w *workload.Workload, o progress.Options) (float64, bool) {
+	return queryError(p, tr, w, o, timeFraction)
+}
+
+func queryError(p *plan.Plan, tr *dmv.Trace, w *workload.Workload, o progress.Options, ref func(*dmv.Trace, *dmv.Snapshot) float64) (float64, bool) {
+	if len(tr.Snapshots) < MinSnapshots {
+		return 0, false
+	}
+	est := progress.NewEstimator(p, w.DB.Catalog, o)
+	var sum float64
+	for _, s := range tr.Snapshots {
+		e := est.Estimate(s)
+		sum += math.Abs(e.Query - ref(tr, s))
+	}
+	return sum / float64(len(tr.Snapshots)), true
+}
+
+// OpAccum accumulates per-operator-type error.
+type OpAccum struct {
+	Sum float64
+	N   int
+}
+
+// Avg returns the mean accumulated error.
+func (a OpAccum) Avg() float64 {
+	if a.N == 0 {
+		return 0
+	}
+	return a.Sum / float64(a.N)
+}
+
+// OpErrors is per-physical-operator error accumulation.
+type OpErrors map[plan.PhysicalOp]*OpAccum
+
+// Add merges one observation.
+func (oe OpErrors) Add(op plan.PhysicalOp, err float64) {
+	a := oe[op]
+	if a == nil {
+		a = &OpAccum{}
+		oe[op] = a
+	}
+	a.Sum += err
+	a.N++
+}
+
+// Merge folds other into oe.
+func (oe OpErrors) Merge(other OpErrors) {
+	for op, a := range other {
+		t := oe[op]
+		if t == nil {
+			t = &OpAccum{}
+			oe[op] = t
+		}
+		t.Sum += a.Sum
+		t.N += a.N
+	}
+}
+
+// AccumOpErrorCount accumulates per-operator Errorcount: the gap between
+// estimated operator progress (k/N̂ under the configuration) and true
+// operator progress (k/N_true), over observations where the operator is
+// actively executing.
+func AccumOpErrorCount(p *plan.Plan, tr *dmv.Trace, w *workload.Workload, o progress.Options, acc OpErrors) {
+	est := progress.NewEstimator(p, w.DB.Catalog, o)
+	for _, s := range tr.Snapshots {
+		e := est.Estimate(s)
+		for _, n := range p.Nodes {
+			op := s.Op(n.ID)
+			if !op.Opened || op.Closed {
+				continue
+			}
+			trueN := float64(tr.TrueRows[n.ID])
+			var truth float64
+			if trueN > 0 {
+				truth = math.Min(float64(op.ActualRows)/trueN, 1)
+			} else {
+				truth = 1
+			}
+			acc.Add(n.Physical, math.Abs(e.Op[n.ID]-truth))
+		}
+	}
+}
+
+// AccumOpErrorTime accumulates per-operator Errortime: the gap between
+// estimated operator progress and the fraction of the operator's active
+// window elapsed at the observation.
+func AccumOpErrorTime(p *plan.Plan, tr *dmv.Trace, w *workload.Workload, o progress.Options, acc OpErrors) {
+	est := progress.NewEstimator(p, w.DB.Catalog, o)
+	final := tr.Final
+	for _, s := range tr.Snapshots {
+		e := est.Estimate(s)
+		for _, n := range p.Nodes {
+			op := s.Op(n.ID)
+			if !op.Opened || op.Closed {
+				continue
+			}
+			// The active window starts when the operator first performed
+			// work, not when its Open recursively opened a deep subtree.
+			fop := final.Op(n.ID)
+			opened := fop.OpenedAt
+			if fop.FirstActive && fop.FirstActiveAt > opened {
+				opened = fop.FirstActiveAt
+			}
+			closed := fop.ClosedAt
+			if closed <= opened {
+				continue
+			}
+			if s.At < opened {
+				continue
+			}
+			frac := float64(s.At-opened) / float64(closed-opened)
+			if frac < 0 {
+				frac = 0
+			}
+			if frac > 1 {
+				frac = 1
+			}
+			acc.Add(n.Physical, math.Abs(e.Op[n.ID]-frac))
+		}
+	}
+}
+
+// OperatorFrequency counts physical operators across a workload's plans
+// (the paper's Fig. 19).
+func OperatorFrequency(w *workload.Workload) map[plan.PhysicalOp]int {
+	counts := make(map[plan.PhysicalOp]int)
+	for _, q := range w.Queries {
+		p := plan.Finalize(q.Build(w.Builder()))
+		p.Walk(func(n *plan.Node) { counts[n.Physical]++ })
+	}
+	return counts
+}

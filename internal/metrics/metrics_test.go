@@ -1,0 +1,135 @@
+package metrics
+
+import (
+	"testing"
+
+	"lqs/internal/engine/dmv"
+	"lqs/internal/plan"
+	"lqs/internal/progress"
+	"lqs/internal/workload"
+)
+
+func tpchSmall(t testing.TB) *workload.Workload {
+	t.Helper()
+	return workload.TPCH(3, workload.TPCHRowstore)
+}
+
+func TestTraceQueryProducesUsableTrace(t *testing.T) {
+	w := tpchSmall(t)
+	p, tr := TraceQuery(w, w.Queries[0], DefaultInterval)
+	if len(tr.Snapshots) < MinSnapshots {
+		t.Fatalf("only %d snapshots", len(tr.Snapshots))
+	}
+	if len(tr.TrueRows) != len(p.Nodes) {
+		t.Fatal("true cardinalities incomplete")
+	}
+	if tr.EndedAt <= tr.StartedAt {
+		t.Fatal("trace times wrong")
+	}
+}
+
+func TestErrorMetricsBasicProperties(t *testing.T) {
+	w := tpchSmall(t)
+	p, tr := TraceQuery(w, w.Queries[0], DefaultInterval)
+	for _, o := range []progress.Options{progress.TGNOptions(), progress.LQSOptions()} {
+		ec, ok := ErrorCount(p, tr, w, o)
+		if !ok || ec < 0 || ec > 1 {
+			t.Fatalf("ErrorCount = %v ok=%v", ec, ok)
+		}
+		et, ok := ErrorTime(p, tr, w, o)
+		if !ok || et < 0 || et > 1 {
+			t.Fatalf("ErrorTime = %v ok=%v", et, ok)
+		}
+	}
+}
+
+func TestRunnerLimitAndStride(t *testing.T) {
+	w := tpchSmall(t)
+	count := 0
+	Runner{Limit: 3}.ForEach(w, func(workload.Query, *plan.Plan, *dmv.Trace) { count++ })
+	if count != 3 {
+		t.Fatalf("Limit=3 traced %d queries", count)
+	}
+	count = 0
+	Runner{Stride: 5}.ForEach(w, func(workload.Query, *plan.Plan, *dmv.Trace) { count++ })
+	if count == 0 || count > len(w.Queries)/5+1 {
+		t.Fatalf("Stride=5 traced %d queries", count)
+	}
+}
+
+func TestOpErrorsAccumulation(t *testing.T) {
+	w := tpchSmall(t)
+	acc := OpErrors{}
+	Runner{Limit: 4}.ForEach(w, func(q workload.Query, p *plan.Plan, tr *dmv.Trace) {
+		AccumOpErrorCount(p, tr, w, progress.TGNOptions(), acc)
+	})
+	if len(acc) == 0 {
+		t.Fatal("no per-operator errors accumulated")
+	}
+	for op, a := range acc {
+		if a.N == 0 || a.Avg() < 0 || a.Avg() > 1 {
+			t.Fatalf("%v accum bad: %+v", op, a)
+		}
+	}
+}
+
+func TestOpErrorTimeAccumulation(t *testing.T) {
+	w := tpchSmall(t)
+	acc := OpErrors{}
+	Runner{Limit: 4}.ForEach(w, func(q workload.Query, p *plan.Plan, tr *dmv.Trace) {
+		AccumOpErrorTime(p, tr, w, progress.LQSOptions(), acc)
+	})
+	if len(acc) == 0 {
+		t.Fatal("no per-operator time errors accumulated")
+	}
+}
+
+func TestOpErrorsMerge(t *testing.T) {
+	a := OpErrors{plan.Sort: &OpAccum{Sum: 1, N: 2}}
+	b := OpErrors{plan.Sort: &OpAccum{Sum: 3, N: 2}, plan.Filter: &OpAccum{Sum: 0.5, N: 1}}
+	a.Merge(b)
+	if a[plan.Sort].Avg() != 1 || a[plan.Filter].N != 1 {
+		t.Fatalf("merge wrong: %+v", a)
+	}
+}
+
+func TestOperatorFrequency(t *testing.T) {
+	w := tpchSmall(t)
+	freq := OperatorFrequency(w)
+	if freq[plan.HashJoin] == 0 || freq[plan.TableScan] == 0 {
+		t.Fatalf("frequency table implausible: %v", freq)
+	}
+	cw := workload.TPCH(3, workload.TPCHColumnstore)
+	cfreq := OperatorFrequency(cw)
+	if cfreq[plan.ColumnstoreIndexScan] == 0 {
+		t.Fatal("columnstore design frequency missing batch scans")
+	}
+	if cfreq[plan.NestedLoops] >= freq[plan.NestedLoops] {
+		t.Fatal("columnstore design should have fewer nested loops (Fig. 19)")
+	}
+}
+
+func TestRefinementImprovesWorkloadErrorCount(t *testing.T) {
+	// The Fig. 14 direction on a slice of TPC-H: bounding+refinement must
+	// beat no-refinement on average.
+	w := tpchSmall(t)
+	var base, full float64
+	n := 0
+	Runner{Limit: 8}.ForEach(w, func(q workload.Query, p *plan.Plan, tr *dmv.Trace) {
+		b, ok1 := ErrorCount(p, tr, w, progress.TGNOptions())
+		f, ok2 := ErrorCount(p, tr, w, progress.Options{
+			Refine: true, Bound: true, SemiBlocking: true, StoragePredIO: true, DriverNodeQuery: true,
+		})
+		if ok1 && ok2 {
+			base += b
+			full += f
+			n++
+		}
+	})
+	if n == 0 {
+		t.Fatal("no queries evaluated")
+	}
+	if full >= base {
+		t.Fatalf("refinement+bounding (%v) did not beat baseline (%v) over %d queries", full/float64(n), base/float64(n), n)
+	}
+}

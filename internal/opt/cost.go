@@ -1,0 +1,106 @@
+// Package opt plays the role of the query optimizer's estimation machinery:
+// it attaches estimated cardinalities (N_i) and per-row CPU/IO costs to
+// every plan node, derived from catalog statistics under the classic
+// simplifying assumptions (attribute independence, containment for joins).
+//
+// These estimates are the exact inputs the paper's client-side progress
+// estimator consumes (§2.2), and their errors — which arise naturally here
+// from data skew and correlation, just as in a real optimizer — are the
+// phenomenon the refinement (§4.1) and bounding (§4.2) techniques attack.
+package opt
+
+import "math"
+
+// CostModel holds the virtual-time cost primitives, in nanoseconds. The
+// execution engine charges actual work with the same primitives, so
+// optimizer cost estimates are *structurally* right but *numerically*
+// wrong exactly where cardinality estimates are wrong — mirroring real
+// systems, where cost model error is dominated by cardinality error.
+type CostModel struct {
+	// CPU per row passed through an operator (iterator overhead).
+	CPUTuple float64
+	// CPU per expression-tree node evaluated per row.
+	CPUExprUnit float64
+	// Hash table insert / probe per row.
+	CPUHashInsert float64
+	CPUHashProbe  float64
+	// Sort comparison cost (charged ~log2(n) times per row).
+	CPUSortCompare float64
+	// Aggregate accumulator update per aggregate per row.
+	CPUAggUpdate float64
+	// Exchange per-row transfer cost (packet overhead amortized).
+	CPUExchangeRow float64
+	// Per-row cost in batch (columnstore) mode; far below CPUTuple,
+	// reflecting the paper's §4.7 batch-processing speedups.
+	CPUBatchRow float64
+	// B-tree descent CPU per level.
+	CPUSeekLevel float64
+	// Spool row copy cost.
+	CPUSpoolRow float64
+
+	// Page I/O: a logical read that hits the buffer pool vs. a physical
+	// read from simulated disk.
+	IOLogicalPage  float64
+	IOPhysicalPage float64
+	// Columnstore segment read (one segment ~ one large sequential unit).
+	IOSegment float64
+
+	// SortMemoryRows is the in-memory sort budget; larger inputs spill to
+	// simulated disk and merge in passes of SortMergeFanIn runs.
+	SortMemoryRows int64
+	SortMergeFanIn int
+	// SpillIOPerRow is the sequential write+read cost per row per merge
+	// pass.
+	SpillIOPerRow float64
+}
+
+// DefaultCostModel returns the cost primitives used across the repository.
+// Magnitudes are loosely SSD-era: ~50µs physical page read, ~100ns per-row
+// CPU. Only ratios matter for the experiments.
+func DefaultCostModel() *CostModel {
+	return &CostModel{
+		CPUTuple:       100,
+		CPUExprUnit:    20,
+		CPUHashInsert:  150,
+		CPUHashProbe:   120,
+		CPUSortCompare: 30,
+		CPUAggUpdate:   60,
+		CPUExchangeRow: 80,
+		CPUBatchRow:    12,
+		CPUSeekLevel:   500,
+		CPUSpoolRow:    50,
+		IOLogicalPage:  2_000,
+		IOPhysicalPage: 50_000,
+		IOSegment:      20_000,
+		SortMemoryRows: 8192,
+		SortMergeFanIn: 8,
+		SpillIOPerRow:  250,
+	}
+}
+
+// SortRowCPU returns the per-row CPU cost of sorting n rows.
+func (cm *CostModel) SortRowCPU(n float64) float64 {
+	if n < 2 {
+		return cm.CPUSortCompare
+	}
+	return cm.CPUSortCompare * math.Log2(n)
+}
+
+// SortMergePasses returns how many external merge passes a sort of n rows
+// needs (0 when it fits in memory).
+func (cm *CostModel) SortMergePasses(n float64) int {
+	if cm.SortMemoryRows <= 0 || n <= float64(cm.SortMemoryRows) {
+		return 0
+	}
+	runs := math.Ceil(n / float64(cm.SortMemoryRows))
+	fan := float64(cm.SortMergeFanIn)
+	if fan < 2 {
+		fan = 2
+	}
+	passes := 0
+	for runs > 1 {
+		runs = math.Ceil(runs / fan)
+		passes++
+	}
+	return passes
+}

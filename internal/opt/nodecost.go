@@ -1,0 +1,160 @@
+package opt
+
+import (
+	"math"
+
+	"lqs/internal/engine/expr"
+	"lqs/internal/plan"
+)
+
+// cost fills a node's per-output-row CPU and IO cost estimates. These feed
+// the paper's §4.6 operator weights (w_i in Equation 2): each pipeline is
+// weighted by max(CPU, IO), so only relative magnitudes matter. Costs are
+// amortized per output row: an operator that consumes many rows per row
+// produced (a selective filter, an aggregate) carries a correspondingly
+// higher per-row cost.
+func (e *Estimator) cost(n *plan.Node, perExec map[*plan.Node]float64) {
+	cm := e.CM
+	out := math.Max(perExec[n], 1)
+	in := 0.0
+	for _, c := range n.Children {
+		in += perExec[c]
+	}
+	inflation := math.Max(in/out, 1)
+
+	var cpu, io float64
+	switch n.Physical {
+	case plan.TableScan, plan.ClusteredIndexScan, plan.IndexScan:
+		t := e.Cat.MustTable(n.Table)
+		scanned := math.Max(float64(t.RowCount), 1)
+		pages := float64(t.Pages)
+		if n.Index != "" {
+			if ix := t.Index(n.Index); ix != nil && ix.LeafPages > 0 {
+				pages = float64(ix.LeafPages)
+			}
+		}
+		perRowExpr := float64(expr.Cost(n.PushedPred)+expr.Cost(n.Pred)) * cm.CPUExprUnit
+		cpu = (cm.CPUTuple + perRowExpr) * (scanned / out)
+		io = pages * cm.IOPhysicalPage / out
+	case plan.ColumnstoreIndexScan:
+		t := e.Cat.MustTable(n.Table)
+		scanned := math.Max(float64(t.RowCount), 1)
+		groups := 1.0
+		if ix := t.Index(n.Index); ix != nil && ix.RowGroups > 0 {
+			groups = float64(ix.RowGroups)
+		}
+		// An empty accessed-column list means the scan reads every column
+		// (matching the executor's default).
+		cols := float64(len(n.AccessedCols))
+		if cols == 0 {
+			cols = float64(len(t.Columns))
+		}
+		segs := groups * cols
+		perRowExpr := float64(expr.Cost(n.PushedPred)+expr.Cost(n.Pred)) * cm.CPUExprUnit / 4
+		cpu = (cm.CPUBatchRow + perRowExpr) * (scanned / out)
+		io = segs * cm.IOSegment / out
+	case plan.ClusteredIndexSeek, plan.IndexSeek:
+		t := e.Cat.MustTable(n.Table)
+		height := 3.0
+		leafPages := math.Max(float64(t.Pages), 1)
+		if ix := t.Index(n.Index); ix != nil {
+			if ix.Height > 0 {
+				height = float64(ix.Height)
+			}
+			if ix.LeafPages > 0 {
+				leafPages = float64(ix.LeafPages)
+			}
+		}
+		perRowExpr := float64(expr.Cost(n.Pred)) * cm.CPUExprUnit
+		cpu = cm.CPUTuple + perRowExpr + height*cm.CPUSeekLevel/out
+		// Descent pages are hot. Leaf pages are read physically at most
+		// once each across repeated executions: with R rebinds against L
+		// leaf pages, the expected physical fraction per execution is
+		// min(1, L/R) and the rest hit the buffer pool.
+		rebinds := math.Max(n.EstRebinds, 1)
+		physFrac := math.Min(1, leafPages/rebinds)
+		leafIO := physFrac*cm.IOPhysicalPage + (1-physFrac)*cm.IOLogicalPage
+		io = (height*cm.IOLogicalPage + leafIO) / out
+	case plan.RIDLookup:
+		cpu = cm.CPUTuple
+		io = cm.IOPhysicalPage * 0.5 // random heap page, partially cached
+	case plan.ConstantScan:
+		cpu = cm.CPUTuple
+	case plan.Filter:
+		cpu = (cm.CPUTuple + float64(expr.Cost(n.Pred))*cm.CPUExprUnit) * inflation
+	case plan.ComputeScalar:
+		total := 0
+		for _, ex := range n.Exprs {
+			total += expr.Cost(ex)
+		}
+		cpu = cm.CPUTuple + float64(total)*cm.CPUExprUnit
+	case plan.Sort, plan.DistinctSort:
+		cpu = cm.CPUTuple*inflation + cm.SortRowCPU(in)*inflation
+		// External merge passes when the input exceeds the sort budget.
+		if passes := cm.SortMergePasses(in); passes > 0 {
+			cpu += float64(passes) * (cm.SpillIOPerRow + cm.CPUSortCompare) * inflation
+			// Converted to input-row cost equivalents below, once the
+			// per-input-row cost (including producing the row) is known.
+			n.EstInternalRows = float64(passes) * in
+		}
+	case plan.TopNSort:
+		cpu = cm.CPUTuple*inflation + cm.SortRowCPU(math.Max(float64(n.TopN), 2))*inflation
+	case plan.StreamAggregate:
+		cpu = (cm.CPUTuple + float64(len(n.Aggs))*cm.CPUAggUpdate) * inflation
+	case plan.HashAggregate:
+		cpu = cm.CPUTuple + (cm.CPUHashInsert+float64(len(n.Aggs))*cm.CPUAggUpdate)*inflation
+	case plan.HashJoin:
+		probe := math.Max(perExec[n.Children[0]], 0)
+		build := math.Max(perExec[n.Children[1]], 0)
+		resid := float64(expr.Cost(n.Residual)) * cm.CPUExprUnit
+		cpu = cm.CPUTuple + resid + (probe*cm.CPUHashProbe+build*cm.CPUHashInsert)/out
+	case plan.MergeJoin:
+		resid := float64(expr.Cost(n.Residual)) * cm.CPUExprUnit
+		cpu = cm.CPUTuple + resid + in*cm.CPUTuple/out
+	case plan.NestedLoops:
+		resid := float64(expr.Cost(n.Residual)) * cm.CPUExprUnit
+		cpu = cm.CPUTuple + resid + math.Max(perExec[n.Children[0]], 0)*cm.CPUTuple/out
+	case plan.TableSpool:
+		cpu = cm.CPUTuple + cm.CPUSpoolRow
+	case plan.Exchange:
+		cpu = cm.CPUTuple + cm.CPUExchangeRow
+	case plan.BitmapCreate:
+		cpu = cm.CPUTuple + cm.CPUHashInsert
+	case plan.SegmentOp, plan.Concatenation:
+		cpu = cm.CPUTuple
+	default:
+		cpu = cm.CPUTuple
+	}
+	if n.BatchMode && n.Physical != plan.ColumnstoreIndexScan {
+		// Batch-mode joins/aggregates amortize iterator overhead.
+		cpu = math.Max(cpu/6, cm.CPUBatchRow)
+	}
+	n.EstCPUPerRow = cpu
+	n.EstIOPerRow = io
+	if n.IsBlocking() {
+		outCost := cm.CPUTuple
+		switch n.Physical {
+		case plan.Sort, plan.DistinctSort, plan.TopNSort:
+			outCost += cm.CPUSortCompare // final merge pass
+		case plan.TableSpool:
+			outCost = cm.CPUSpoolRow
+		}
+		n.EstOutCPUPerRow = outCost
+
+		// Phase weights for the §7 cost-weighted model: the time to
+		// consume one input row includes the child's cost of producing
+		// it; the output and internal phases are expressed relative to
+		// that (children are costed first — the cost pass is postorder).
+		childCost := 0.0
+		for _, c := range n.Children {
+			childCost += c.EstCPUPerRow + c.EstIOPerRow
+		}
+		inCost := cpu/inflation + childCost
+		if inCost > 0 {
+			n.EstOutWeight = outCost / inCost
+			if n.EstInternalRows > 0 {
+				n.EstInternalRows *= (cm.SpillIOPerRow + cm.CPUSortCompare) / inCost
+			}
+		}
+	}
+}

@@ -1,0 +1,294 @@
+package opt
+
+import (
+	"math"
+	"testing"
+
+	"lqs/internal/engine/catalog"
+	"lqs/internal/engine/expr"
+	"lqs/internal/engine/storage"
+	"lqs/internal/engine/types"
+	"lqs/internal/plan"
+	"lqs/internal/sim"
+)
+
+// testDB builds a two-table database: orders (uniform) and lines (skewed
+// foreign key), the standard shape for join estimation tests.
+func testDB(t testing.TB) (*catalog.Catalog, *storage.Database) {
+	cat := catalog.NewCatalog()
+	orders := catalog.NewTable("orders",
+		catalog.Column{Name: "o_id", Kind: types.KindInt},
+		catalog.Column{Name: "o_cust", Kind: types.KindInt},
+		catalog.Column{Name: "o_total", Kind: types.KindFloat},
+	)
+	orders.AddIndex(&catalog.Index{Name: "pk", KeyCols: []int{0}, Clustered: true})
+	cat.Add(orders)
+	lines := catalog.NewTable("lines",
+		catalog.Column{Name: "l_oid", Kind: types.KindInt},
+		catalog.Column{Name: "l_qty", Kind: types.KindInt},
+		catalog.Column{Name: "l_price", Kind: types.KindFloat},
+	)
+	lines.AddIndex(&catalog.Index{Name: "ix_oid", KeyCols: []int{0}})
+	cat.Add(lines)
+
+	db := storage.NewDatabase(cat, 1<<20)
+	rng := sim.NewRNG(7)
+	const nOrders = 2000
+	oRows := make([]types.Row, nOrders)
+	for i := range oRows {
+		oRows[i] = types.Row{types.Int(int64(i)), types.Int(rng.Int63n(100)), types.Float(rng.Float64() * 1000)}
+	}
+	db.Load("orders", oRows)
+	z := sim.NewZipf(rng, nOrders, 1.0)
+	lRows := make([]types.Row, 10000)
+	for i := range lRows {
+		lRows[i] = types.Row{types.Int(z.Next() - 1), types.Int(1 + rng.Int63n(50)), types.Float(rng.Float64() * 100)}
+	}
+	db.Load("lines", lRows)
+	db.BuildAllStats(64)
+	return cat, db
+}
+
+func estPlan(t testing.TB, cat *catalog.Catalog, root *plan.Node) *plan.Plan {
+	p := plan.Finalize(root)
+	NewEstimator(cat).Estimate(p)
+	return p
+}
+
+func TestScanEstimateIsTableCardinality(t *testing.T) {
+	cat, _ := testDB(t)
+	b := plan.NewBuilder(cat)
+	p := estPlan(t, cat, b.TableScan("orders", nil, nil))
+	if p.Root.EstRows != 2000 {
+		t.Fatalf("scan EstRows = %v", p.Root.EstRows)
+	}
+	if p.Root.EstCPUPerRow <= 0 || p.Root.EstIOPerRow <= 0 {
+		t.Fatal("scan costs must be positive")
+	}
+}
+
+func TestFilterSelectivityFromHistogram(t *testing.T) {
+	cat, _ := testDB(t)
+	b := plan.NewBuilder(cat)
+	// o_id < 500 is exactly 25% of a uniform 0..1999 key.
+	scan := b.TableScan("orders", nil, nil)
+	f := b.Filter(scan, expr.Lt(expr.C(0, "o_id"), expr.KInt(500)))
+	p := estPlan(t, cat, f)
+	if math.Abs(p.Root.EstRows-500) > 100 {
+		t.Fatalf("filter EstRows = %v, want ~500", p.Root.EstRows)
+	}
+}
+
+func TestEqSelectivityOnSkewedColumn(t *testing.T) {
+	cat, _ := testDB(t)
+	b := plan.NewBuilder(cat)
+	// l_oid = 0 is the Zipf head: far more frequent than average.
+	scan := b.TableScan("lines", expr.Eq(expr.C(0, "l_oid"), expr.KInt(0)), nil)
+	p := estPlan(t, cat, scan)
+	if p.Root.EstRows < 100 {
+		t.Fatalf("head-value estimate = %v, histogram should capture the skew", p.Root.EstRows)
+	}
+}
+
+func TestJoinEstimate(t *testing.T) {
+	cat, _ := testDB(t)
+	b := plan.NewBuilder(cat)
+	j := b.HashJoinNode(plan.LogicalInnerJoin,
+		b.TableScan("lines", nil, nil),
+		b.TableScan("orders", nil, nil),
+		[]int{0}, []int{0}, nil)
+	p := estPlan(t, cat, j)
+	// Every line matches exactly one order: true J = 10000. The
+	// containment estimate should be in the right ballpark.
+	if p.Root.EstRows < 2000 || p.Root.EstRows > 50000 {
+		t.Fatalf("join EstRows = %v, want ~10000", p.Root.EstRows)
+	}
+}
+
+func TestSemiAntiJoinEstimates(t *testing.T) {
+	cat, _ := testDB(t)
+	b := plan.NewBuilder(cat)
+	mk := func(kind plan.LogicalOp) float64 {
+		j := b.HashJoinNode(kind,
+			b.TableScan("orders", nil, nil),
+			b.TableScan("lines", nil, nil),
+			[]int{0}, []int{0}, nil)
+		return estPlan(t, cat, j).Root.EstRows
+	}
+	semi := mk(plan.LogicalLeftSemiJoin)
+	anti := mk(plan.LogicalLeftAntiSemiJoin)
+	if semi > 2000 {
+		t.Fatalf("semi join estimate %v exceeds outer cardinality", semi)
+	}
+	if math.Abs(semi+anti-2000) > 1 {
+		t.Fatalf("semi (%v) + anti (%v) should partition the outer side", semi, anti)
+	}
+}
+
+func TestNestedLoopsRebinds(t *testing.T) {
+	cat, _ := testDB(t)
+	b := plan.NewBuilder(cat)
+	outer := b.TableScan("orders", nil, nil)
+	inner := b.SeekEq("lines", "ix_oid", []expr.Expr{expr.C(0, "o_id")}, nil)
+	nl := b.NestedLoopsNode(plan.LogicalInnerJoin, outer, inner, nil)
+	p := estPlan(t, cat, nl)
+	if inner.EstRebinds != 2000 {
+		t.Fatalf("inner EstRebinds = %v, want 2000", inner.EstRebinds)
+	}
+	if outer.EstRebinds != 1 {
+		t.Fatalf("outer EstRebinds = %v, want 1", outer.EstRebinds)
+	}
+	// Inner total = rebinds × per-probe estimate ≈ 10000 total matches.
+	if inner.EstRows < 1000 || inner.EstRows > 100000 {
+		t.Fatalf("inner total EstRows = %v, want ~10000", inner.EstRows)
+	}
+	if p.Root.EstRows < 1000 {
+		t.Fatalf("NL join EstRows = %v", p.Root.EstRows)
+	}
+}
+
+func TestStackedNestedLoopsChainRebinds(t *testing.T) {
+	cat, _ := testDB(t)
+	b := plan.NewBuilder(cat)
+	innerDeep := b.SeekEq("lines", "ix_oid", []expr.Expr{expr.C(0, "o_id")}, nil)
+	innerNL := b.NestedLoopsNode(plan.LogicalInnerJoin,
+		b.SeekEq("orders", "pk", []expr.Expr{expr.C(0, "l_oid")}, nil),
+		innerDeep, nil)
+	outer := b.TableScan("lines", nil, nil)
+	top := b.NestedLoopsNode(plan.LogicalInnerJoin, outer, innerNL, nil)
+	estPlan(t, cat, top)
+	// The deep inner seek rebinds once per (outer row × mid-level row):
+	// 10000 lines × 1 matching order each.
+	if innerDeep.EstRebinds != 10000 {
+		t.Fatalf("deep inner rebinds = %v, want 10000 (chained through both NLs)", innerDeep.EstRebinds)
+	}
+	if innerNL.Children[0].EstRebinds != 10000 {
+		t.Fatalf("mid seek rebinds = %v, want 10000", innerNL.Children[0].EstRebinds)
+	}
+}
+
+func TestGroupByEstimate(t *testing.T) {
+	cat, _ := testDB(t)
+	b := plan.NewBuilder(cat)
+	agg := b.HashAgg(b.TableScan("orders", nil, nil), []int{1}, []expr.AggSpec{{Kind: expr.CountStar}})
+	p := estPlan(t, cat, agg)
+	if math.Abs(p.Root.EstRows-100) > 20 {
+		t.Fatalf("group estimate = %v, want ~100 (o_cust distinct)", p.Root.EstRows)
+	}
+	// Scalar aggregate → one row.
+	agg2 := b.HashAgg(b.TableScan("orders", nil, nil), nil, []expr.AggSpec{{Kind: expr.CountStar}})
+	if estPlan(t, cat, agg2).Root.EstRows != 1 {
+		t.Fatal("scalar aggregate must estimate 1 row")
+	}
+}
+
+func TestTopNEstimate(t *testing.T) {
+	cat, _ := testDB(t)
+	b := plan.NewBuilder(cat)
+	top := b.TopNSortNode(b.TableScan("orders", nil, nil), 10, []int{2}, []bool{true})
+	if estPlan(t, cat, top).Root.EstRows != 10 {
+		t.Fatal("TopN estimate must be N")
+	}
+}
+
+func TestOutOfModelFunctionGuess(t *testing.T) {
+	cat, _ := testDB(t)
+	b := plan.NewBuilder(cat)
+	opaque := &expr.Func{Name: "f", Args: []expr.Expr{expr.C(0, "o_id")}, Fn: func(a []types.Value) types.Value { return types.Bool(a[0].I%97 == 0) }}
+	scan := b.TableScan("orders", nil, expr.Eq(opaque, expr.KInt(1)))
+	p := estPlan(t, cat, scan)
+	if math.Abs(p.Root.EstRows-2000*guessFunc) > 1 {
+		t.Fatalf("opaque predicate estimate = %v, want the %v guess", p.Root.EstRows, 2000*guessFunc)
+	}
+}
+
+func TestNodeMultiplierInjection(t *testing.T) {
+	cat, _ := testDB(t)
+	b := plan.NewBuilder(cat)
+	scan := b.TableScan("orders", nil, nil)
+	p := plan.Finalize(scan)
+	e := NewEstimator(cat)
+	e.NodeMultiplier = func(n *plan.Node) float64 {
+		if n.Physical == plan.TableScan {
+			return 0.01
+		}
+		return 1
+	}
+	e.Estimate(p)
+	if math.Abs(p.Root.EstRows-20) > 1 {
+		t.Fatalf("injected estimate = %v, want 20", p.Root.EstRows)
+	}
+}
+
+func TestBatchModeCheaperPerRow(t *testing.T) {
+	cat, _ := testDB(t)
+	tbl := cat.MustTable("orders")
+	tbl.AddIndex(&catalog.Index{Name: "cs", Kind: catalog.ColumnStore, RowGroups: 4})
+	b := plan.NewBuilder(cat)
+	rowScan := b.TableScan("orders", nil, nil)
+	batchScan := b.ColumnstoreScan("orders", "cs", []int{0, 1}, nil)
+	p1 := estPlan(t, cat, rowScan)
+	p2 := estPlan(t, cat, batchScan)
+	if p2.Root.EstCPUPerRow >= p1.Root.EstCPUPerRow {
+		t.Fatalf("batch CPU %v not below row CPU %v", p2.Root.EstCPUPerRow, p1.Root.EstCPUPerRow)
+	}
+}
+
+func TestSeekRangeEstimate(t *testing.T) {
+	cat, _ := testDB(t)
+	b := plan.NewBuilder(cat)
+	seek := b.Seek("orders", "pk",
+		[]expr.Expr{expr.KInt(100)}, []expr.Expr{expr.KInt(299)}, true, true, nil)
+	p := estPlan(t, cat, seek)
+	if math.Abs(p.Root.EstRows-200) > 60 {
+		t.Fatalf("range seek estimate = %v, want ~200", p.Root.EstRows)
+	}
+}
+
+func TestConcatenationSums(t *testing.T) {
+	cat, _ := testDB(t)
+	b := plan.NewBuilder(cat)
+	c := b.Concat(b.TableScan("orders", nil, nil), b.TableScan("orders", nil, nil))
+	if estPlan(t, cat, c).Root.EstRows != 4000 {
+		t.Fatal("concat must sum children")
+	}
+}
+
+func TestBitmapSelectivity(t *testing.T) {
+	cat, _ := testDB(t)
+	b := plan.NewBuilder(cat)
+	// Build side: orders filtered to ~5% of customers → bitmap on o_id
+	// filters the lines probe scan.
+	build := b.TableScan("orders", expr.Lt(expr.C(1, "o_cust"), expr.KInt(5)), nil)
+	bm := b.BitmapNode(build, []int{0})
+	probe := b.TableScan("lines", nil, nil)
+	b.AttachBitmap(probe, bm, []int{0})
+	j := b.HashJoinNode(plan.LogicalInnerJoin, probe, bm, []int{0}, []int{0}, nil)
+	p := estPlan(t, cat, j)
+	if probe.EstRows >= 10000 {
+		t.Fatalf("bitmap probe scan estimate %v not reduced below table size", probe.EstRows)
+	}
+	_ = p
+}
+
+func TestCostsAllPositive(t *testing.T) {
+	cat, _ := testDB(t)
+	b := plan.NewBuilder(cat)
+	inner := b.SeekEq("lines", "ix_oid", []expr.Expr{expr.C(0, "o_id")}, nil)
+	nl := b.NestedLoopsNode(plan.LogicalInnerJoin, b.TableScan("orders", nil, nil), inner, nil)
+	sorted := b.Sort(nl, []int{0}, nil)
+	agg := b.HashAgg(sorted, []int{1}, []expr.AggSpec{{Kind: expr.Sum, Arg: expr.C(4, "l_qty")}})
+	ex := b.ExchangeNode(agg, plan.GatherStreams)
+	p := estPlan(t, cat, ex)
+	p.Walk(func(n *plan.Node) {
+		if n.EstCPUPerRow <= 0 {
+			t.Errorf("node %d (%v) has non-positive CPU cost", n.ID, n.Physical)
+		}
+		if n.EstRows < 0 || math.IsNaN(n.EstRows) {
+			t.Errorf("node %d (%v) has bad EstRows %v", n.ID, n.Physical, n.EstRows)
+		}
+		if n.EstRebinds < 1 {
+			t.Errorf("node %d has EstRebinds %v < 1", n.ID, n.EstRebinds)
+		}
+	})
+}

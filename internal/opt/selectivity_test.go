@@ -1,0 +1,209 @@
+package opt
+
+import (
+	"math"
+	"testing"
+
+	"lqs/internal/engine/expr"
+	"lqs/internal/engine/types"
+	"lqs/internal/plan"
+)
+
+// selScan estimates a predicate's selectivity by building a filtered scan
+// and dividing the estimate by the table cardinality.
+func selScan(t *testing.T, table string, pred expr.Expr) float64 {
+	t.Helper()
+	cat, _ := testDB(t)
+	b := plan.NewBuilder(cat)
+	p := plan.Finalize(b.TableScan(table, pred, nil))
+	NewEstimator(cat).Estimate(p)
+	return p.Root.EstRows / float64(cat.MustTable(table).RowCount)
+}
+
+func TestSelectivityConjunctionIndependence(t *testing.T) {
+	// o_id < 1000 (0.5) AND o_cust < 50 (0.5) → ~0.25 under independence.
+	pred := expr.And(
+		expr.Lt(expr.C(0, "o_id"), expr.KInt(1000)),
+		expr.Lt(expr.C(1, "o_cust"), expr.KInt(50)))
+	if s := selScan(t, "orders", pred); math.Abs(s-0.25) > 0.08 {
+		t.Fatalf("AND selectivity %v, want ~0.25", s)
+	}
+}
+
+func TestSelectivityDisjunctionInclusionExclusion(t *testing.T) {
+	pred := expr.Or(
+		expr.Lt(expr.C(0, "o_id"), expr.KInt(1000)),
+		expr.Lt(expr.C(1, "o_cust"), expr.KInt(50)))
+	if s := selScan(t, "orders", pred); math.Abs(s-0.75) > 0.08 {
+		t.Fatalf("OR selectivity %v, want ~0.75", s)
+	}
+}
+
+func TestSelectivityNegation(t *testing.T) {
+	pred := &expr.Not{E: expr.Lt(expr.C(0, "o_id"), expr.KInt(500))}
+	if s := selScan(t, "orders", pred); math.Abs(s-0.75) > 0.08 {
+		t.Fatalf("NOT selectivity %v, want ~0.75", s)
+	}
+}
+
+func TestSelectivityFlippedComparison(t *testing.T) {
+	// const < col must flip to col > const.
+	a := selScan(t, "orders", expr.Lt(expr.KInt(1500), expr.C(0, "o_id")))
+	b := selScan(t, "orders", expr.Gt(expr.C(0, "o_id"), expr.KInt(1500)))
+	if math.Abs(a-b) > 1e-9 {
+		t.Fatalf("flipped comparison differs: %v vs %v", a, b)
+	}
+	if math.Abs(a-0.25) > 0.08 {
+		t.Fatalf("selectivity %v, want ~0.25", a)
+	}
+}
+
+func TestSelectivityColumnVsColumn(t *testing.T) {
+	// col = col → 1/max(dv): o_id has 2000 distincts, o_cust 100.
+	s := selScan(t, "orders", expr.Eq(expr.C(0, "o_id"), expr.C(1, "o_cust")))
+	if math.Abs(s-1.0/2000) > 1e-4 {
+		t.Fatalf("col=col selectivity %v, want 1/2000", s)
+	}
+}
+
+func TestSelectivityNE(t *testing.T) {
+	s := selScan(t, "orders", &expr.Cmp{Op: expr.NE, L: expr.C(1, "o_cust"), R: expr.KInt(5)})
+	if s < 0.9 || s > 1 {
+		t.Fatalf("<> selectivity %v, want ~0.99", s)
+	}
+}
+
+func TestSelectivityLikeGuesses(t *testing.T) {
+	prefix := selScan(t, "orders", &expr.Like{E: expr.C(1, "o_cust"), Pattern: "ab%"})
+	contains := selScan(t, "orders", &expr.Like{E: expr.C(1, "o_cust"), Pattern: "%ab%"})
+	exact := selScan(t, "orders", &expr.Like{E: expr.C(1, "o_cust"), Pattern: "ab"})
+	if math.Abs(prefix-guessLikePre) > 1e-9 || math.Abs(contains-guessLikeSub) > 1e-9 || math.Abs(exact-guessEq) > 1e-9 {
+		t.Fatalf("LIKE guesses: prefix %v contains %v exact %v", prefix, contains, exact)
+	}
+}
+
+func TestSelectivityInViaHistogram(t *testing.T) {
+	// o_cust IN (1,2,3) over 100 uniform values → ~3%.
+	pred := &expr.In{E: expr.C(1, "o_cust"), Set: []types.Value{types.Int(1), types.Int(2), types.Int(3)}}
+	if s := selScan(t, "orders", pred); math.Abs(s-0.03) > 0.02 {
+		t.Fatalf("IN selectivity %v, want ~0.03", s)
+	}
+	// IN over a computed expression falls back to the guess.
+	pred2 := &expr.In{E: expr.Plus(expr.C(1, "o_cust"), expr.KInt(1)), Set: []types.Value{types.Int(1), types.Int(2)}}
+	if s := selScan(t, "orders", pred2); math.Abs(s-2*guessEq) > 1e-9 {
+		t.Fatalf("IN fallback %v, want %v", s, 2*guessEq)
+	}
+}
+
+func TestSelectivityIsNull(t *testing.T) {
+	// No NULLs in the fixture → near-zero.
+	s := selScan(t, "orders", &expr.IsNull{E: expr.C(1, "o_cust")})
+	if s > 0.01 {
+		t.Fatalf("IS NULL selectivity %v, want ~0", s)
+	}
+}
+
+func TestSelectivityOpaqueFuncAnywhere(t *testing.T) {
+	f := &expr.Func{Name: "f", Args: []expr.Expr{expr.C(0, "o_id")},
+		Fn: func(a []types.Value) types.Value { return a[0] }}
+	// Func buried inside a comparison still triggers the out-of-model guess.
+	s := selScan(t, "orders", expr.Lt(expr.Plus(f, expr.KInt(1)), expr.KInt(10)))
+	if math.Abs(s-guessFunc) > 1e-9 {
+		t.Fatalf("buried Func selectivity %v, want guess %v", s, guessFunc)
+	}
+}
+
+func TestSelectivityConstPredicates(t *testing.T) {
+	if s := selScan(t, "orders", expr.K(types.Bool(true))); s != 1 {
+		t.Fatalf("TRUE selectivity %v", s)
+	}
+	if s := selScan(t, "orders", expr.K(types.Bool(false))); s > minSel*1.01 {
+		t.Fatalf("FALSE selectivity %v", s)
+	}
+}
+
+func TestSelectivityClamping(t *testing.T) {
+	// A conjunction of many selective predicates clamps at minSel, never 0.
+	kids := make([]expr.Expr, 8)
+	for i := range kids {
+		kids[i] = expr.Eq(expr.C(1, "o_cust"), expr.KInt(int64(i)))
+	}
+	s := selScan(t, "orders", expr.And(kids...))
+	if s <= 0 {
+		t.Fatal("selectivity clamped to zero")
+	}
+}
+
+func TestCostNodesHaveOutWeights(t *testing.T) {
+	cat, _ := testDB(t)
+	b := plan.NewBuilder(cat)
+	sorted := b.Sort(b.TableScan("orders", nil, nil), []int{0}, nil)
+	agg := b.HashAgg(sorted, []int{1}, []expr.AggSpec{{Kind: expr.CountStar}})
+	top := b.TopNSortNode(agg, 5, []int{0}, nil)
+	p := plan.Finalize(top)
+	NewEstimator(cat).Estimate(p)
+	p.Walk(func(n *plan.Node) {
+		if n.IsBlocking() && n.EstOutCPUPerRow <= 0 {
+			t.Errorf("blocking node %v missing output-phase cost", n.Physical)
+		}
+	})
+}
+
+func TestCostSpoolSegmentConcatConstant(t *testing.T) {
+	cat, _ := testDB(t)
+	b := plan.NewBuilder(cat)
+	scan := b.TableScan("orders", nil, nil)
+	seg := b.SegmentNode(scan, []int{1})
+	sp := b.Spool(seg, true)
+	cc := b.Concat(sp, b.ConstantScanRows([]types.Row{{types.Int(1), types.Int(2), types.Float(3)}}))
+	p := plan.Finalize(cc)
+	NewEstimator(cat).Estimate(p)
+	p.Walk(func(n *plan.Node) {
+		if n.EstCPUPerRow <= 0 {
+			t.Errorf("%v has non-positive CPU cost", n.Physical)
+		}
+	})
+	if p.Root.EstRows != 2001 {
+		t.Fatalf("concat estimate %v, want 2001", p.Root.EstRows)
+	}
+}
+
+func TestMergeJoinAndRIDLookupCosts(t *testing.T) {
+	cat, _ := testDB(t)
+	b := plan.NewBuilder(cat)
+	mj := b.MergeJoinNode(plan.LogicalInnerJoin,
+		b.ClusteredIndexScan("orders", "pk", nil, nil),
+		b.Sort(b.TableScan("lines", nil, nil), []int{0}, nil),
+		[]int{0}, []int{0}, nil)
+	p := plan.Finalize(mj)
+	NewEstimator(cat).Estimate(p)
+	if p.Root.EstCPUPerRow <= 0 {
+		t.Fatal("merge join cost missing")
+	}
+	seek := b.SeekKeysOnly("lines", "ix_oid", []expr.Expr{expr.KInt(3)}, []expr.Expr{expr.KInt(3)}, true, true)
+	rl := b.RIDLookup(seek, "lines")
+	p2 := plan.Finalize(rl)
+	NewEstimator(cat).Estimate(p2)
+	if p2.Root.EstIOPerRow <= 0 {
+		t.Fatal("RID lookup should carry IO cost")
+	}
+}
+
+func TestSeekBoundsVariants(t *testing.T) {
+	cat, _ := testDB(t)
+	b := plan.NewBuilder(cat)
+	// Lower-bound only.
+	lo := b.Seek("orders", "pk", []expr.Expr{expr.KInt(1500)}, nil, true, false, nil)
+	p := plan.Finalize(lo)
+	NewEstimator(cat).Estimate(p)
+	if math.Abs(p.Root.EstRows-500) > 120 {
+		t.Fatalf("lower-bound seek estimate %v, want ~500", p.Root.EstRows)
+	}
+	// Upper-bound only.
+	hi := b.Seek("orders", "pk", nil, []expr.Expr{expr.KInt(200)}, false, true, nil)
+	p2 := plan.Finalize(hi)
+	NewEstimator(cat).Estimate(p2)
+	if math.Abs(p2.Root.EstRows-200) > 80 {
+		t.Fatalf("upper-bound seek estimate %v, want ~200", p2.Root.EstRows)
+	}
+}

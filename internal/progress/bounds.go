@@ -1,0 +1,148 @@
+package progress
+
+import (
+	"math"
+
+	"lqs/internal/engine/dmv"
+	"lqs/internal/plan"
+)
+
+// Bounds are worst-case lower and upper bounds on a node's total GetNext
+// count (§4.2), derived purely from the algebraic properties of operators
+// (Appendix A, Table 1) plus the counters observed so far. UB may be +Inf
+// (spools before their input size is known).
+type Bounds struct {
+	LB, UB float64
+}
+
+// Clamp forces v into [LB, UB].
+func (b Bounds) Clamp(v float64) float64 {
+	if v < b.LB {
+		v = b.LB
+	}
+	if v > b.UB {
+		v = b.UB
+	}
+	return v
+}
+
+// ComputeBounds evaluates Appendix A's bounding table bottom-up for every
+// node, given the current snapshot. Nodes on the inner side of a nested
+// loops join have their leaf-level upper bounds multiplied by the outer
+// side's upper bound (the table's "when on inner side of join" rows),
+// since every remaining outer row can re-execute them.
+func (e *Estimator) ComputeBounds(snap *dmv.Snapshot) []Bounds {
+	bounds := make([]Bounds, len(e.Plan.Nodes))
+	var rec func(n *plan.Node, shielded bool) Bounds
+	rec = func(n *plan.Node, shielded bool) Bounds {
+		// Children first (outer before inner, matching preorder IDs).
+		// A spool shields its subtree from rebind multiplication: the
+		// spool replays its cache, so the child executes only once.
+		childShield := shielded || n.Physical == plan.TableSpool
+		kid := make([]Bounds, len(n.Children))
+		for i, c := range n.Children {
+			kid[i] = rec(c, childShield)
+		}
+		k := float64(snap.Op(n.ID).ActualRows)
+		var b Bounds
+		inf := math.Inf(1)
+
+		// innerMult is the execution multiplier for inner-side leaves.
+		innerMult := func() float64 {
+			if shielded || !e.Decomp.InnerSide[n.ID] {
+				return 1
+			}
+			outer := e.Decomp.OuterOf[n.ID]
+			if outer < 0 {
+				return 1
+			}
+			ub := bounds[outer].UB
+			if ub < 1 {
+				ub = 1
+			}
+			return ub
+		}
+
+		switch n.Physical {
+		case plan.TableScan:
+			size := float64(e.Cat.MustTable(n.Table).RowCount)
+			if n.Pred == nil && !n.HasStoragePred() {
+				b = Bounds{LB: size * innerMult(), UB: size * innerMult()}
+			} else {
+				b = Bounds{LB: k, UB: size * innerMult()}
+			}
+		case plan.ClusteredIndexScan, plan.IndexScan, plan.ClusteredIndexSeek,
+			plan.IndexSeek, plan.ColumnstoreIndexScan:
+			size := float64(e.Cat.MustTable(n.Table).RowCount)
+			b = Bounds{LB: k, UB: size * innerMult()}
+		case plan.ConstantScan:
+			c := float64(len(n.ConstRows)) * innerMult()
+			b = Bounds{LB: c, UB: c}
+		case plan.HashJoin, plan.MergeJoin, plan.NestedLoops:
+			// UB = (UB_outer − K_outer) · UB_inner + K_i: every not-yet-seen
+			// outer row may match every inner row. A streaming join's most
+			// recently consumed outer row may still have matches in
+			// flight (its K_outer advanced before its matches were fully
+			// emitted), so one extra outer row is allowed until the join
+			// closes; the same slack covers right/full-outer tails.
+			ko := float64(snap.Op(n.Children[0].ID).ActualRows)
+			remOuter := math.Max(kid[0].UB-ko, 0)
+			if !snap.Op(n.ID).Closed && snap.Op(n.Children[0].ID).Opened {
+				remOuter++
+			}
+			b = Bounds{LB: k, UB: remOuter*kid[1].UB + k}
+		case plan.Concatenation:
+			var lb, ub float64
+			for i, c := range n.Children {
+				lb += float64(snap.Op(c.ID).ActualRows)
+				ub += kid[i].UB
+			}
+			b = Bounds{LB: math.Max(lb, k), UB: ub}
+		case plan.Filter, plan.Exchange, plan.SegmentOp, plan.DistinctSort:
+			kc := float64(snap.Op(n.Children[0].ID).ActualRows)
+			b = Bounds{LB: k, UB: math.Max(kid[0].UB-kc, 0) + k}
+		case plan.Sort:
+			// A sort outputs exactly its input count.
+			kc := float64(snap.Op(n.Children[0].ID).ActualRows)
+			b = Bounds{LB: kc, UB: kid[0].UB}
+		case plan.TopNSort:
+			kc := float64(snap.Op(n.Children[0].ID).ActualRows)
+			b = Bounds{LB: math.Min(float64(n.TopN), kc), UB: math.Min(float64(n.TopN), kid[0].UB)}
+		case plan.BitmapCreate, plan.ComputeScalar:
+			kc := float64(snap.Op(n.Children[0].ID).ActualRows)
+			b = Bounds{LB: kc, UB: kid[0].UB}
+		case plan.StreamAggregate, plan.HashAggregate:
+			// Every remaining input row could found a new group. A scalar
+			// aggregate always emits one row; a grouped aggregate emits at
+			// least one only once input rows have been observed.
+			kc := float64(snap.Op(n.Children[0].ID).ActualRows)
+			lb := k
+			if len(n.GroupCols) == 0 || kc > 0 {
+				lb = math.Max(1, k)
+			}
+			b = Bounds{LB: lb, UB: math.Max(kid[0].UB-kc, 0) + math.Max(lb, k)}
+		case plan.RIDLookup:
+			b = Bounds{LB: k, UB: kid[0].UB}
+		case plan.TableSpool:
+			// Replays make the spool unbounded until its input size is
+			// known; on the inner side of a join, each outer row replays
+			// the cached input.
+			if !shielded && e.Decomp.InnerSide[n.ID] {
+				b = Bounds{LB: k, UB: kid[0].UB * innerMult()}
+			} else if snap.Op(n.Children[0].ID).Closed {
+				b = Bounds{LB: k, UB: kid[0].UB}
+			} else {
+				b = Bounds{LB: k, UB: inf}
+			}
+		default:
+			b = Bounds{LB: k, UB: inf}
+		}
+		if b.UB < b.LB {
+			b.UB = b.LB
+		}
+		bounds[n.ID] = b
+		return b
+	}
+	rec(e.Plan.Root, false)
+	return bounds
+}

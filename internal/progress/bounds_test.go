@@ -1,0 +1,272 @@
+package progress
+
+import (
+	"math"
+	"testing"
+
+	"lqs/internal/engine/dmv"
+	"lqs/internal/engine/expr"
+	"lqs/internal/engine/types"
+	"lqs/internal/plan"
+)
+
+// syntheticSnapshot builds a snapshot with the given per-node ActualRows
+// (and optional closed flags) without running the engine, so each Table 1
+// rule can be checked against hand-computed values. Counters are keyed by
+// node pointer because IDs are only assigned at Finalize.
+func syntheticSnapshot(p *plan.Plan, k map[*plan.Node]int64, closed map[*plan.Node]bool) *dmv.Snapshot {
+	s := &dmv.Snapshot{Ops: make([]dmv.OpProfile, len(p.Nodes))}
+	for _, n := range p.Nodes {
+		s.Ops[n.ID] = dmv.OpProfile{
+			NodeID:     n.ID,
+			Physical:   n.Physical,
+			Logical:    n.Logical,
+			ActualRows: k[n],
+			Opened:     true,
+			Closed:     closed[n],
+		}
+	}
+	return s
+}
+
+func boundsFor(t *testing.T, f *fixture, root *plan.Node, k map[*plan.Node]int64, closed map[*plan.Node]bool) ([]Bounds, *plan.Plan) {
+	t.Helper()
+	p := plan.Finalize(root)
+	e := NewEstimator(p, f.cat, Options{Bound: true})
+	return e.ComputeBounds(syntheticSnapshot(p, k, closed)), p
+}
+
+// Table sizes in the fixture: fact = 20000, dim = 500.
+
+func TestBoundsTableScanNoPredIsExact(t *testing.T) {
+	f := newFixture(t)
+	scan := f.b.TableScan("fact", nil, nil)
+	b, _ := boundsFor(t, f, scan, map[*plan.Node]int64{scan: 1234}, nil)
+	if b[0].LB != 20000 || b[0].UB != 20000 {
+		t.Fatalf("plain table scan bounds = %+v, want exact 20000", b[0])
+	}
+}
+
+func TestBoundsTableScanWithPred(t *testing.T) {
+	f := newFixture(t)
+	scan := f.b.TableScan("fact", expr.Lt(expr.C(0, ""), expr.KInt(10)), nil)
+	b, _ := boundsFor(t, f, scan, map[*plan.Node]int64{scan: 7}, nil)
+	if b[0].LB != 7 || b[0].UB != 20000 {
+		t.Fatalf("filtered scan bounds = %+v, want [7, 20000]", b[0])
+	}
+}
+
+func TestBoundsIndexSeek(t *testing.T) {
+	f := newFixture(t)
+	seek := f.b.SeekEq("fact", "ix_dim", []expr.Expr{expr.KInt(3)}, nil)
+	b, _ := boundsFor(t, f, seek, map[*plan.Node]int64{seek: 40}, nil)
+	if b[0].LB != 40 || b[0].UB != 20000 {
+		t.Fatalf("seek bounds = %+v, want [K, TableSize]", b[0])
+	}
+}
+
+func TestBoundsSeekOnInnerSideOfJoin(t *testing.T) {
+	f := newFixture(t)
+	outer := f.b.TableScan("dim", nil, nil)
+	inner := f.b.SeekEq("fact", "ix_dim", []expr.Expr{expr.C(0, "")}, nil)
+	nl := f.b.NestedLoopsNode(plan.LogicalInnerJoin, outer, inner, nil)
+	b, _ := boundsFor(t, f, nl, map[*plan.Node]int64{}, nil)
+	// Inner-side seek UB = TableSize · UB_outer = 20000 · 500.
+	if b[inner.ID].UB != 20000*500 {
+		t.Fatalf("inner seek UB = %v, want TableSize × UB_outer", b[inner.ID].UB)
+	}
+}
+
+func TestBoundsConstantScan(t *testing.T) {
+	f := newFixture(t)
+	cs := f.b.ConstantScanRows([]types.Row{{types.Int(1)}, {types.Int(2)}, {types.Int(3)}})
+	b, _ := boundsFor(t, f, cs, nil, nil)
+	if b[0].LB != 3 || b[0].UB != 3 {
+		t.Fatalf("constant scan bounds = %+v, want exact 3", b[0])
+	}
+}
+
+func TestBoundsJoinRule(t *testing.T) {
+	f := newFixture(t)
+	probe := f.b.TableScan("fact", nil, nil)
+	build := f.b.TableScan("dim", nil, nil)
+	hj := f.b.HashJoinNode(plan.LogicalInnerJoin, probe, build, []int{1}, []int{0}, nil)
+	// Probe consumed 5000 of 20000, join output so far 4000.
+	b, _ := boundsFor(t, f, hj, map[*plan.Node]int64{probe: 5000, build: 500, hj: 4000}, nil)
+	// UB = (UB_outer − K_outer + 1)·UB_inner + K: the +1 covers the
+	// in-flight outer row of a streaming join.
+	want := float64(20000-5000+1)*500 + 4000
+	if b[hj.ID].UB != want || b[hj.ID].LB != 4000 {
+		t.Fatalf("join bounds = %+v, want [4000, %v]", b[hj.ID], want)
+	}
+}
+
+func TestBoundsJoinVariantsShareRule(t *testing.T) {
+	f := newFixture(t)
+	for _, kind := range []plan.LogicalOp{
+		plan.LogicalLeftSemiJoin, plan.LogicalLeftAntiSemiJoin,
+		plan.LogicalRightOuterJoin, plan.LogicalRightSemiJoin, plan.LogicalFullOuterJoin,
+	} {
+		probe := f.b.TableScan("fact", nil, nil)
+		build := f.b.TableScan("dim", nil, nil)
+		hj := f.b.HashJoinNode(kind, probe, build, []int{1}, []int{0}, nil)
+		b, _ := boundsFor(t, f, hj,
+			map[*plan.Node]int64{probe: 20000, build: 500, hj: 123},
+			map[*plan.Node]bool{probe: true, build: true, hj: true})
+		// Join closed with probe fully consumed: UB collapses to K.
+		if b[hj.ID].LB != 123 || b[hj.ID].UB != 123 {
+			t.Fatalf("%v bounds = %+v, want collapsed to K", kind, b[hj.ID])
+		}
+	}
+}
+
+func TestBoundsConcatenation(t *testing.T) {
+	f := newFixture(t)
+	s1 := f.b.TableScan("dim", nil, nil)
+	s2 := f.b.TableScan("dim", nil, nil)
+	c := f.b.Concat(s1, s2)
+	b, _ := boundsFor(t, f, c, map[*plan.Node]int64{s1: 100, s2: 200, c: 300}, nil)
+	if b[0].LB != 300 || b[0].UB != 1000 {
+		t.Fatalf("concat bounds = %+v, want [300, 1000]", b[0])
+	}
+}
+
+func TestBoundsFilterAndExchangeAndSegment(t *testing.T) {
+	f := newFixture(t)
+	mk := func(wrap func(*plan.Node) *plan.Node) Bounds {
+		scan := f.b.TableScan("dim", nil, nil)
+		root := wrap(scan)
+		b, _ := boundsFor(t, f, root, map[*plan.Node]int64{root: 30, scan: 100}, nil)
+		return b[root.ID]
+	}
+	fb := mk(func(s *plan.Node) *plan.Node { return f.b.Filter(s, expr.Lt(expr.C(0, ""), expr.KInt(9))) })
+	// UB = (UB_child − K_child) + K = (500 − 100) + 30.
+	if fb.LB != 30 || fb.UB != 430 {
+		t.Fatalf("filter bounds = %+v, want [30, 430]", fb)
+	}
+	eb := mk(func(s *plan.Node) *plan.Node { return f.b.ExchangeNode(s, plan.GatherStreams) })
+	if eb.UB != 430 {
+		t.Fatalf("exchange bounds = %+v, want UB 430", eb)
+	}
+	sb := mk(func(s *plan.Node) *plan.Node { return f.b.SegmentNode(s, []int{0}) })
+	if sb.UB != 430 {
+		t.Fatalf("segment bounds = %+v, want UB 430", sb)
+	}
+	db := mk(func(s *plan.Node) *plan.Node { return f.b.DistinctSortNode(s, []int{0}) })
+	if db.UB != 430 {
+		t.Fatalf("distinct sort bounds = %+v, want UB 430", db)
+	}
+}
+
+func TestBoundsSortExactOnInput(t *testing.T) {
+	f := newFixture(t)
+	scan := f.b.TableScan("dim", nil, nil)
+	s := f.b.Sort(scan, []int{0}, nil)
+	b, _ := boundsFor(t, f, s, map[*plan.Node]int64{scan: 120}, nil)
+	// Sort outputs exactly its input: LB = K_child, UB = UB_child.
+	if b[0].LB != 120 || b[0].UB != 500 {
+		t.Fatalf("sort bounds = %+v, want [120, 500]", b[0])
+	}
+}
+
+func TestBoundsTopNSort(t *testing.T) {
+	f := newFixture(t)
+	scan := f.b.TableScan("dim", nil, nil)
+	s := f.b.TopNSortNode(scan, 50, []int{0}, nil)
+	b, _ := boundsFor(t, f, s, map[*plan.Node]int64{scan: 120}, nil)
+	if b[0].LB != 50 || b[0].UB != 50 {
+		t.Fatalf("topN bounds = %+v, want exact min(N, ...) = 50", b[0])
+	}
+	scan2 := f.b.TableScan("dim", nil, nil)
+	s2 := f.b.TopNSortNode(scan2, 50, []int{0}, nil)
+	b2, _ := boundsFor(t, f, s2, map[*plan.Node]int64{scan2: 20}, nil)
+	if b2[0].LB != 20 || b2[0].UB != 50 {
+		t.Fatalf("topN early bounds = %+v, want [20, 50]", b2[0])
+	}
+}
+
+func TestBoundsAggregate(t *testing.T) {
+	f := newFixture(t)
+	scan := f.b.TableScan("dim", nil, nil)
+	agg := f.b.HashAgg(scan, []int{1}, []expr.AggSpec{{Kind: expr.CountStar}})
+	b, _ := boundsFor(t, f, agg, map[*plan.Node]int64{scan: 200, agg: 0}, nil)
+	// LB = max(1, K); UB = (UB_child − K_child) + max(1, K).
+	if b[0].LB != 1 || b[0].UB != 301 {
+		t.Fatalf("aggregate bounds = %+v, want [1, 301]", b[0])
+	}
+}
+
+func TestBoundsComputeScalarAndBitmap(t *testing.T) {
+	f := newFixture(t)
+	scan := f.b.TableScan("dim", nil, nil)
+	cs := f.b.ComputeScalar(scan, expr.KInt(1))
+	b, _ := boundsFor(t, f, cs, map[*plan.Node]int64{scan: 77}, nil)
+	if b[0].LB != 77 || b[0].UB != 500 {
+		t.Fatalf("compute scalar bounds = %+v, want [K_child, UB_child]", b[0])
+	}
+	scan2 := f.b.TableScan("dim", nil, nil)
+	bm := f.b.BitmapNode(scan2, []int{0})
+	b2, _ := boundsFor(t, f, bm, map[*plan.Node]int64{scan2: 77}, nil)
+	if b2[0].LB != 77 || b2[0].UB != 500 {
+		t.Fatalf("bitmap bounds = %+v, want [K_child, UB_child]", b2[0])
+	}
+}
+
+func TestBoundsRIDLookup(t *testing.T) {
+	f := newFixture(t)
+	seek := f.b.SeekKeysOnly("fact", "ix_dim", []expr.Expr{expr.KInt(1)}, []expr.Expr{expr.KInt(1)}, true, true)
+	rl := f.b.RIDLookup(seek, "fact")
+	b, _ := boundsFor(t, f, rl, map[*plan.Node]int64{rl: 9, seek: 12}, nil)
+	if b[0].LB != 9 || b[0].UB != 20000 {
+		t.Fatalf("rid lookup bounds = %+v, want [K, UB_child]", b[0])
+	}
+}
+
+func TestBoundsSpool(t *testing.T) {
+	f := newFixture(t)
+	// Standalone spool with unfinished child: unbounded above.
+	scan := f.b.TableScan("dim", expr.Lt(expr.C(0, ""), expr.KInt(100)), nil)
+	sp := f.b.Spool(scan, false)
+	b, _ := boundsFor(t, f, sp, map[*plan.Node]int64{sp: 10, scan: 10}, nil)
+	if !math.IsInf(b[0].UB, 1) {
+		t.Fatalf("lazy spool UB = %v, want +Inf before child completes", b[0].UB)
+	}
+	// Child complete: bounded by child UB.
+	scanB := f.b.TableScan("dim", expr.Lt(expr.C(0, ""), expr.KInt(100)), nil)
+	spB := f.b.Spool(scanB, false)
+	b2, _ := boundsFor(t, f, spB,
+		map[*plan.Node]int64{spB: 60, scanB: 60}, map[*plan.Node]bool{scanB: true})
+	if math.IsInf(b2[0].UB, 1) {
+		t.Fatal("spool UB must be finite once its child closed")
+	}
+	// Inner side of a join: UB = UB_child × UB_outer.
+	outer := f.b.TableScan("dim", nil, nil)
+	inner := f.b.Spool(f.b.TableScan("fact", expr.Lt(expr.C(0, ""), expr.KInt(5)), nil), true)
+	nl := f.b.NestedLoopsNode(plan.LogicalInnerJoin, outer, inner, nil)
+	b3, _ := boundsFor(t, f, nl, map[*plan.Node]int64{}, nil)
+	if b3[inner.ID].UB != 20000*500 {
+		t.Fatalf("inner spool UB = %v, want UB_child × UB_outer", b3[inner.ID].UB)
+	}
+}
+
+func TestBoundsClampBehaviour(t *testing.T) {
+	b := Bounds{LB: 10, UB: 100}
+	if b.Clamp(5) != 10 || b.Clamp(500) != 100 || b.Clamp(50) != 50 {
+		t.Fatal("Clamp wrong")
+	}
+}
+
+func TestBoundsNeverInverted(t *testing.T) {
+	f := newFixture(t)
+	// A deep plan with arbitrary counters must never produce UB < LB.
+	root, _ := misestimatedFilterPlan(f)
+	p, tr := f.trace(t, root, nil)
+	e := NewEstimator(p, f.cat, Options{Bound: true})
+	for _, s := range tr.Snapshots {
+		for id, b := range e.ComputeBounds(s) {
+			if b.UB < b.LB {
+				t.Fatalf("node %d bounds inverted: %+v", id, b)
+			}
+		}
+	}
+}

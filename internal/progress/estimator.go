@@ -1,0 +1,601 @@
+package progress
+
+import (
+	"math"
+
+	"lqs/internal/engine/catalog"
+	"lqs/internal/engine/dmv"
+	"lqs/internal/plan"
+	"lqs/internal/sim"
+)
+
+// Estimator computes progress estimates for one query from DMV snapshots.
+// It is a pure client-side component: construct it from the plan (with
+// optimizer estimates), the catalog (metadata such as table page counts),
+// and Options selecting the §4 techniques; then call Estimate on each
+// snapshot the poller delivers.
+type Estimator struct {
+	Plan   *plan.Plan
+	Cat    *catalog.Catalog
+	Opt    Options
+	Decomp *Decomposition
+
+	// hasSemiBelow[id]: a semi-blocking operator (exchange, nested loops)
+	// sits between this node and the leaves of its pipeline (§4.4).
+	hasSemiBelow []bool
+}
+
+// Estimate is the result of one estimation pass: what LQS displays.
+type Estimate struct {
+	At sim.Duration
+	// Query is overall query progress in [0, 1].
+	Query float64
+	// Op is per-operator progress in [0, 1], indexed by node ID.
+	Op []float64
+	// N is the refined (and bounded) cardinality estimate N̂_i per node.
+	N []float64
+	// Bounds are the Appendix A bounds when Options.Bound is set.
+	Bounds []Bounds
+	// PipelineProg is per-pipeline progress, indexed by pipeline ID.
+	PipelineProg []float64
+}
+
+// NewEstimator builds an estimator for a finalized, cost-estimated plan.
+func NewEstimator(p *plan.Plan, cat *catalog.Catalog, opt Options) *Estimator {
+	e := &Estimator{Plan: p, Cat: cat, Opt: opt, Decomp: Decompose(p)}
+	e.hasSemiBelow = make([]bool, len(p.Nodes))
+	var rec func(n *plan.Node) bool // returns whether subtree-in-pipeline has semi-blocking
+	rec = func(n *plan.Node) bool {
+		has := false
+		for i, c := range n.Children {
+			// Stop at pipeline boundaries: blocking children and hash-join
+			// build sides run in other pipelines.
+			if c.IsBlocking() {
+				rec(c)
+				continue
+			}
+			if n.Physical == plan.HashJoin && i == 1 {
+				rec(c)
+				continue
+			}
+			sub := rec(c)
+			if sub || c.IsSemiBlocking() {
+				has = true
+			}
+		}
+		e.hasSemiBelow[n.ID] = has
+		return has
+	}
+	rec(p.Root)
+	return e
+}
+
+// Estimate computes progress from one DMV snapshot.
+func (e *Estimator) Estimate(snap *dmv.Snapshot) *Estimate {
+	est := &Estimate{
+		At: snap.At,
+		Op: make([]float64, len(e.Plan.Nodes)),
+		N:  make([]float64, len(e.Plan.Nodes)),
+	}
+	if e.Opt.Bound {
+		est.Bounds = e.ComputeBounds(snap)
+	}
+	e.deriveN(snap, est)
+	for _, n := range e.Plan.Nodes {
+		est.Op[n.ID] = e.opProgress(snap, est, n)
+	}
+	est.PipelineProg = make([]float64, len(e.Decomp.Pipelines))
+	for _, pl := range e.Decomp.Pipelines {
+		est.PipelineProg[pl.ID] = e.pipelineProgress(snap, est, pl)
+	}
+	switch {
+	case e.Opt.Weighted:
+		est.Query = e.weightedQueryProgress(snap, est)
+	case e.Opt.DriverNodeQuery:
+		est.Query = e.driverQueryProgress(snap, est)
+	default:
+		est.Query = e.tgnQueryProgress(snap, est)
+	}
+	est.Query = clamp01(est.Query)
+	return est
+}
+
+// deriveN fills est.N: the N̂_i of Equation 2, refined (§4.1, §4.4) and
+// bounded (§4.2) according to Options. The tree is processed postorder
+// with the outer child first, so child and outer-side estimates are
+// available when a node needs them.
+func (e *Estimator) deriveN(snap *dmv.Snapshot, est *Estimate) {
+	alphaMemo := make(map[int]float64)
+	var process func(n *plan.Node)
+	process = func(n *plan.Node) {
+		for _, c := range n.Children {
+			process(c)
+		}
+		est.N[n.ID] = e.nodeN(snap, est, n, alphaMemo)
+		if e.Opt.Bound {
+			est.N[n.ID] = est.Bounds[n.ID].Clamp(est.N[n.ID])
+		}
+	}
+	process(e.Plan.Root)
+}
+
+// knownLeafTotal returns the exactly-known total output of a leaf, or
+// (0, false) when the leaf's total is only an estimate. Plain scans of a
+// whole object are the canonical case (§3.1.1: "cardinalities of driver
+// nodes are typically known exactly").
+func (e *Estimator) knownLeafTotal(n *plan.Node) (float64, bool) {
+	switch n.Physical {
+	case plan.ConstantScan:
+		return float64(len(n.ConstRows)), true
+	case plan.TableScan, plan.ClusteredIndexScan, plan.IndexScan, plan.ColumnstoreIndexScan:
+		if n.Pred == nil && !n.HasStoragePred() {
+			return float64(e.Cat.MustTable(n.Table).RowCount), true
+		}
+	}
+	return 0, false
+}
+
+// nodeN computes one node's N̂.
+func (e *Estimator) nodeN(snap *dmv.Snapshot, est *Estimate, n *plan.Node, alphaMemo map[int]float64) float64 {
+	op := snap.Op(n.ID)
+	k := float64(op.ActualRows)
+
+	if e.Opt.Refine && op.Closed {
+		// Completed operators have exactly-known cardinality.
+		return k
+	}
+
+	// Exactly-known leaf totals are available to the client from catalog
+	// metadata whether or not refinement is on (and match the optimizer
+	// estimate in any case); inner-side leaves rebind, so only their
+	// per-execution count is known and the total stays an estimate.
+	if total, ok := e.knownLeafTotal(n); ok && !e.Decomp.InnerSide[n.ID] {
+		return total
+	}
+
+	if !e.Opt.Refine {
+		return n.EstRows
+	}
+
+	// Algebraic identities: pass-through operators output exactly their
+	// input, so a refined child propagates upward for free.
+	switch n.Physical {
+	case plan.ComputeScalar, plan.SegmentOp, plan.BitmapCreate, plan.Exchange:
+		return est.N[n.Children[0].ID]
+	case plan.Sort:
+		return est.N[n.Children[0].ID]
+	case plan.TopNSort:
+		return math.Min(float64(n.TopN), est.N[n.Children[0].ID])
+	case plan.TableSpool:
+		if !e.Decomp.InnerSide[n.ID] {
+			return est.N[n.Children[0].ID]
+		}
+	case plan.Concatenation:
+		sum := 0.0
+		for _, c := range n.Children {
+			sum += est.N[c.ID]
+		}
+		return sum
+	case plan.RIDLookup:
+		if n.Pred == nil {
+			return est.N[n.Children[0].ID]
+		}
+	case plan.HashAggregate, plan.StreamAggregate, plan.DistinctSort:
+		// Aggregate outputs are unobservable until the input is done;
+		// keep the optimizer estimate (bounds clamp it) — unless §7(a)
+		// propagation is on, which rescales the group estimate by the
+		// observed refinement of the input.
+		if e.Opt.PropagateRefined {
+			return e.propagatedEstimate(est, n)
+		}
+		return n.EstRows
+	}
+
+	pl := e.Decomp.Pipelines[e.Decomp.PipeOf[n.ID]]
+	if !e.pipelineStarted(snap, pl) {
+		// Nodes in not-yet-started pipelines have no observations of
+		// their own; §7(a) propagation carries their inputs' refinements
+		// across the pipeline boundary.
+		if e.Opt.PropagateRefined {
+			return e.propagatedEstimate(est, n)
+		}
+		return n.EstRows
+	}
+	if !e.refineGuardsOK(snap, n) {
+		return n.EstRows
+	}
+
+	// Leaf scans with filters refine from their own I/O or segment
+	// fraction (the observable that tracks how much of the object has
+	// been read) — never from pipeline α, which for a driver node would
+	// be its own progress and collapse N̂ to k.
+	if n.IsLeaf() && !e.Decomp.InnerSide[n.ID] {
+		var frac float64
+		switch {
+		case n.BatchMode && op.SegmentsTotal > 0:
+			frac = float64(op.SegmentsProcessed) / float64(op.SegmentsTotal)
+		case op.PagesTotal > 0:
+			frac = float64(op.LogicalReads) / float64(op.PagesTotal)
+		}
+		if frac > 1e-9 {
+			return k / math.Min(frac, 1)
+		}
+		return n.EstRows
+	}
+
+	// §4.4(3): inner-side nodes scale their average rows per execution by
+	// the outer side's total cardinality.
+	if e.Decomp.InnerSide[n.ID] && e.Opt.SemiBlocking {
+		outerID := e.Decomp.OuterOf[n.ID]
+		rebinds := math.Max(float64(op.Rebinds), 1)
+		return (k / rebinds) * math.Max(est.N[outerID], 1)
+	}
+
+	// Choose the scale-up factor α (Fig. 9): driver progress by default;
+	// the immediate children's progress when a semi-blocking operator
+	// separates this node from the pipeline's leaves (§4.4(2)).
+	var alpha float64
+	if e.Opt.SemiBlocking && (e.hasSemiBelow[n.ID] || n.IsSemiBlocking()) && len(n.Children) > 0 {
+		alpha = e.childProgress(snap, est, n)
+	} else {
+		alpha = e.pipelineAlpha(snap, est, pl, alphaMemo)
+	}
+	if alpha <= 1e-9 {
+		return n.EstRows
+	}
+	if alpha > 1 {
+		alpha = 1
+	}
+	if e.Opt.InterpRefine {
+		// Prior-work linear interpolation [22]: converges slowly when the
+		// initial estimate is grossly wrong (§4.1's critique).
+		return k + (1-alpha)*n.EstRows
+	}
+	return k / alpha
+}
+
+// propagatedEstimate implements §7 future-work item (a): scale a node's
+// optimizer estimate by the observed refinement ratio of its inputs, so
+// runtime corrections cross pipeline boundaries instead of stopping at
+// blocking operators. The ratio is clamped to two orders of magnitude —
+// far-field propagation compounds uncertainty.
+func (e *Estimator) propagatedEstimate(est *Estimate, n *plan.Node) float64 {
+	if len(n.Children) == 0 {
+		return n.EstRows
+	}
+	var nhat, nopt float64
+	for _, c := range n.Children {
+		nhat += math.Max(est.N[c.ID], 1)
+		nopt += math.Max(c.EstRows, 1)
+	}
+	// Aggregates don't scale linearly with input: group counts are the
+	// distinct-value estimate re-capped by the refined input (the
+	// optimizer capped it by the *wrong* input).
+	switch n.Physical {
+	case plan.HashAggregate, plan.StreamAggregate, plan.DistinctSort:
+		dv := n.EstDistinct
+		if dv <= 0 {
+			dv = n.EstRows
+		}
+		return math.Max(math.Min(dv, nhat), 1)
+	}
+	ratio := nhat / math.Max(nopt, 1)
+	if ratio < 0.01 {
+		ratio = 0.01
+	}
+	if ratio > 100 {
+		ratio = 100
+	}
+	return n.EstRows * ratio
+}
+
+// childProgress is the Fig. 9 right-hand scheme: α from the immediate
+// children. For nested loops, the outer child's consumed count is its
+// rebind-adjusted value — buffered-but-unprocessed outer rows don't count
+// (§4.4(3)).
+func (e *Estimator) childProgress(snap *dmv.Snapshot, est *Estimate, n *plan.Node) float64 {
+	children := n.Children
+	if n.Physical == plan.HashJoin {
+		// The build child completed before probing began (it is another
+		// pipeline); only the probe child's progress tracks the join's
+		// streaming output.
+		children = n.Children[:1]
+	}
+	var kSum, nSum float64
+	for i, c := range children {
+		k := float64(snap.Op(c.ID).ActualRows)
+		if n.Physical == plan.NestedLoops && i == 0 {
+			// Rows actually consumed from the outer buffer = inner rebinds.
+			k = float64(snap.Op(n.Children[1].ID).Rebinds)
+		}
+		kSum += k
+		nSum += math.Max(est.N[c.ID], 1)
+	}
+	if nSum <= 0 {
+		return 0
+	}
+	return kSum / nSum
+}
+
+// pipelineAlpha is Equation 3: Σ k_d / Σ N_d over the pipeline's driver
+// nodes, with per-driver progress generalized for storage-predicate scans
+// (I/O fraction, §4.3) and batch-mode scans (segment fraction, §4.7).
+// §4.4(1) adds inner-side drivers when SemiBlocking is on.
+func (e *Estimator) pipelineAlpha(snap *dmv.Snapshot, est *Estimate, pl *Pipeline, memo map[int]float64) float64 {
+	if a, ok := memo[pl.ID]; ok {
+		return a
+	}
+	drivers := pl.Drivers
+	if e.Opt.SemiBlocking {
+		drivers = append(append([]int{}, drivers...), pl.InnerDrivers...)
+	}
+	var num, den float64
+	for _, id := range drivers {
+		n := e.Plan.Node(id)
+		total := math.Max(est.N[id], 1)
+		prog := e.driverProgress(snap, est, n)
+		num += prog * total
+		den += total
+	}
+	a := 0.0
+	if den > 0 {
+		a = num / den
+	}
+	memo[pl.ID] = a
+	return a
+}
+
+// driverProgress estimates one driver node's own progress fraction.
+func (e *Estimator) driverProgress(snap *dmv.Snapshot, est *Estimate, n *plan.Node) float64 {
+	op := snap.Op(n.ID)
+	if op.Closed {
+		return 1
+	}
+	if e.Opt.BatchMode && n.BatchMode && op.SegmentsTotal > 0 {
+		return clamp01(float64(op.SegmentsProcessed) / float64(op.SegmentsTotal))
+	}
+	if e.Opt.StoragePredIO && n.HasStoragePred() && op.PagesTotal > 0 {
+		return clamp01(float64(op.LogicalReads) / float64(op.PagesTotal))
+	}
+	total := math.Max(est.N[n.ID], 1)
+	return clamp01(float64(op.ActualRows) / total)
+}
+
+// pipelineStarted reports whether any member of the pipeline has opened,
+// or a blocking-output source feeding it has begun emitting.
+func (e *Estimator) pipelineStarted(snap *dmv.Snapshot, pl *Pipeline) bool {
+	for _, id := range pl.Members {
+		if snap.Op(id).Opened {
+			return true
+		}
+	}
+	for _, id := range pl.Sources {
+		op := snap.Op(id)
+		if op.ActualRows > 0 || op.Closed {
+			return true
+		}
+	}
+	return false
+}
+
+// pipelineDone reports whether every member of the pipeline has closed or
+// finished its streaming role. Blocking tops count as done once their
+// input is consumed (their output phase belongs to the parent pipeline).
+func (e *Estimator) pipelineDone(snap *dmv.Snapshot, pl *Pipeline) bool {
+	for _, id := range pl.Members {
+		op := snap.Op(id)
+		n := e.Plan.Node(id)
+		if n.IsBlocking() {
+			// The input phase is done when all children closed — plus, with
+			// the §7 counters, any internal phase must have finished too.
+			for _, c := range n.Children {
+				if !snap.Op(c.ID).Closed {
+					return false
+				}
+			}
+			if e.Opt.InternalCounters && op.InternalDone < op.InternalTotal {
+				return false
+			}
+			continue
+		}
+		if !op.Closed {
+			return false
+		}
+	}
+	for _, id := range pl.Sources {
+		if !snap.Op(id).Closed {
+			return false
+		}
+	}
+	return e.pipelineStarted(snap, pl)
+}
+
+// refineGuardsOK implements the §4.1 guard conditions: a minimum number of
+// observed tuples on every input, and — for filters and joins — having
+// observed both qualifying and non-qualifying tuples (approximated from
+// the counters the DMV exposes).
+func (e *Estimator) refineGuardsOK(snap *dmv.Snapshot, n *plan.Node) bool {
+	min := e.Opt.minRefine()
+	op := snap.Op(n.ID)
+	var inputK int64
+	for _, c := range n.Children {
+		ck := snap.Op(c.ID).ActualRows
+		if ck < min {
+			return false
+		}
+		inputK += ck
+	}
+	if len(n.Children) == 0 {
+		if op.ActualRows < min {
+			return false
+		}
+		return true
+	}
+	switch n.Physical {
+	case plan.Filter:
+		// Must have seen rows pass and rows fail.
+		return op.ActualRows >= 1 && op.ActualRows < inputK
+	case plan.HashJoin, plan.MergeJoin, plan.NestedLoops:
+		return op.ActualRows >= 1
+	}
+	return true
+}
+
+// opProgress is the per-operator progress LQS displays under each node
+// (§3.2): Prog(o) = k/N̂ in the base GetNext model, with the §4.3, §4.5,
+// and §4.7 models substituted where they apply. Estimates are capped at
+// 99% until the operator actually closes — matching the paper's
+// observation (Fig. 4) that a wrong estimate parks at 99% rather than
+// falsely reporting completion.
+func (e *Estimator) opProgress(snap *dmv.Snapshot, est *Estimate, n *plan.Node) float64 {
+	op := snap.Op(n.ID)
+	if op.Closed {
+		return 1
+	}
+	if !op.Opened {
+		return 0
+	}
+	if e.Opt.BatchMode && n.BatchMode && op.SegmentsTotal > 0 {
+		return capRunning(float64(op.SegmentsProcessed) / float64(op.SegmentsTotal))
+	}
+	if e.Opt.StoragePredIO && n.HasStoragePred() && op.PagesTotal > 0 {
+		return capRunning(float64(op.LogicalReads) / float64(op.PagesTotal))
+	}
+	k := float64(op.ActualRows)
+	total := math.Max(est.N[n.ID], 1)
+	if e.Opt.TwoPhaseBlocking && n.IsBlocking() && len(n.Children) > 0 {
+		// Fig. 10's two-phase model: (K_in + K_out) / (N_in + N_out).
+		var kin, nin float64
+		for _, c := range n.Children {
+			kin += float64(snap.Op(c.ID).ActualRows)
+			nin += math.Max(est.N[c.ID], 1)
+		}
+		// §7 extension: the engine's internal-state counters add a third,
+		// cost-weighted phase between input and output (a spilled sort's
+		// merge passes). Internal work is expressed in input-row cost
+		// equivalents (predicted by the cost model, advanced by the
+		// engine's counters) and output rows are weighted by their
+		// relative cost, so phase progress stays proportional to time —
+		// the "more intricate model" the paper's §7 calls for.
+		if e.Opt.InternalCounters {
+			wout := n.EstOutWeight
+			if wout <= 0 {
+				wout = 1
+			}
+			itotalEq := math.Max(n.EstInternalRows, 0)
+			var idoneEq float64
+			if op.InternalTotal > 0 {
+				idoneEq = itotalEq * float64(op.InternalDone) / float64(op.InternalTotal)
+			}
+			return capRunning((kin + idoneEq + k*wout) / (nin + itotalEq + total*wout))
+		}
+		return capRunning((kin + k) / (nin + total))
+	}
+	return capRunning(k / total)
+}
+
+// pipelineProgress estimates a pipeline's progress: the weighted GetNext
+// sum over its members when estimates exist, 1 when complete, 0 before it
+// starts.
+func (e *Estimator) pipelineProgress(snap *dmv.Snapshot, est *Estimate, pl *Pipeline) float64 {
+	if e.pipelineDone(snap, pl) {
+		return 1
+	}
+	if !e.pipelineStarted(snap, pl) {
+		return 0
+	}
+	var num, den float64
+	for _, id := range pl.Members {
+		n := e.Plan.Node(id)
+		k, total := e.termFor(snap, est, n)
+		if total <= 0 {
+			continue
+		}
+		w := 1.0
+		if e.Opt.Weighted {
+			// Per-row cost estimates are per OUTPUT row while the term
+			// counts work-driving (input-side) rows; rescale so the
+			// term's total weight (w·total) equals the node's duration
+			// contribution (nodeWeight · N̂), keeping pipeline progress
+			// consistent with pipeline duration.
+			w = e.nodeWeight(n) * math.Max(est.N[n.ID], 1) / total
+		}
+		num += w * k
+		den += w * total
+	}
+	// Blocking-output sources emitting into this pipeline.
+	for _, id := range pl.Sources {
+		n := e.Plan.Node(id)
+		w := 1.0
+		if e.Opt.Weighted {
+			w = outWeight(n)
+		}
+		num += w * float64(snap.Op(id).ActualRows)
+		den += w * math.Max(est.N[id], 1)
+	}
+	if den <= 0 {
+		return 0
+	}
+	return capRunning(num / den)
+}
+
+// termFor returns the (k, N) pair tracking a node's *work* within its
+// pipeline. An operator's work is driven by the rows it consumes, not the
+// rows it outputs — a selective join or filter does almost all of its work
+// before output appears — so interior nodes contribute input-side counts
+// (for blocking operators this is exactly the §4.5 input phase). Leaves
+// contribute their output count, or their I/O / segment fraction when
+// §4.3/§4.7 apply. For nested loops the outer child's consumed count is
+// its rebind-adjusted value: buffered-but-unprobed rows are not yet work.
+func (e *Estimator) termFor(snap *dmv.Snapshot, est *Estimate, n *plan.Node) (float64, float64) {
+	op := snap.Op(n.ID)
+	if len(n.Children) > 0 {
+		var kin, nin float64
+		for i, c := range n.Children {
+			ck := float64(snap.Op(c.ID).ActualRows)
+			if n.Physical == plan.NestedLoops && i == 0 && e.Opt.SemiBlocking {
+				ck = float64(snap.Op(n.Children[1].ID).Rebinds)
+			}
+			kin += ck
+			nin += math.Max(est.N[c.ID], 1)
+		}
+		if e.Opt.InternalCounters && n.IsBlocking() && n.EstInternalRows > 0 {
+			// §7 counters: a spilled sort's merge work (in input-row cost
+			// equivalents, advanced by the engine's counters) is part of
+			// this operator's input-pipeline contribution.
+			if op.InternalTotal > 0 {
+				kin += n.EstInternalRows * float64(op.InternalDone) / float64(op.InternalTotal)
+			}
+			nin += n.EstInternalRows
+		}
+		return kin, nin
+	}
+	// §4.3/§4.7 leaves: convert their native progress into k/N form.
+	if (e.Opt.BatchMode && n.BatchMode && op.SegmentsTotal > 0) ||
+		(e.Opt.StoragePredIO && n.HasStoragePred() && op.PagesTotal > 0) {
+		total := math.Max(est.N[n.ID], 1)
+		return e.driverProgress(snap, est, n) * total, total
+	}
+	return float64(op.ActualRows), math.Max(est.N[n.ID], 1)
+}
+
+func clamp01(f float64) float64 {
+	if f < 0 || math.IsNaN(f) {
+		return 0
+	}
+	if f > 1 {
+		return 1
+	}
+	return f
+}
+
+// capRunning caps a still-running operator's progress at 99%.
+func capRunning(f float64) float64 {
+	if f < 0 || math.IsNaN(f) {
+		return 0
+	}
+	if f > 0.99 {
+		return 0.99
+	}
+	return f
+}

@@ -1,0 +1,357 @@
+package progress
+
+import (
+	"math"
+	"testing"
+
+	"lqs/internal/engine/expr"
+	"lqs/internal/plan"
+)
+
+// avgAbsQueryErr compares a config's query progress against the oracle
+// (true-N) GetNext progress over every snapshot — per-trace Errorcount.
+func avgAbsQueryErr(t *testing.T, f *fixture, root *plan.Node, estErr func(*plan.Node) float64, o Options) float64 {
+	t.Helper()
+	p, tr := f.trace(t, root, estErr)
+	ests := estimateAll(p, f.cat, tr, o)
+	var sum float64
+	n := 0
+	for i, s := range tr.Snapshots {
+		sum += math.Abs(ests[i].Query - trueQueryProgress(tr, s))
+		n++
+	}
+	if n == 0 {
+		t.Fatal("trace has no snapshots; query too fast for the poll interval")
+	}
+	return sum / float64(n)
+}
+
+// misestimatedFilterPlan builds a scan→filter→sort plan whose filter
+// estimate is off by the given multiplier.
+func misestimatedFilterPlan(f *fixture) (*plan.Node, *plan.Node) {
+	fl := f.b.Filter(f.b.TableScan("fact", nil, nil), expr.Lt(expr.C(2, "cat"), expr.KInt(10)))
+	s := f.b.Sort(fl, []int{3}, nil)
+	return s, fl
+}
+
+func TestRefinementConvergesToTrueCardinality(t *testing.T) {
+	f := newFixture(t)
+	root, fl := misestimatedFilterPlan(f)
+	// Inject a 50x underestimate on the filter.
+	inject := func(n *plan.Node) float64 {
+		if n == fl {
+			return 0.02
+		}
+		return 1
+	}
+	p, tr := f.trace(t, root, inject)
+	trueN := float64(tr.TrueRows[fl.ID])
+	if math.Abs(p.Node(fl.ID).EstRows-trueN) < trueN/2 {
+		t.Fatalf("injection failed: est %v vs true %v", p.Node(fl.ID).EstRows, trueN)
+	}
+	est := NewEstimator(p, f.cat, Options{Refine: true, MinRefineRows: 16})
+	// By half-way through the scan, the refined estimate should be close.
+	mid := tr.Snapshots[len(tr.Snapshots)/2]
+	e := est.Estimate(mid)
+	if mid.Op(fl.ID).ActualRows > 100 { // refinement active
+		rel := math.Abs(e.N[fl.ID]-trueN) / trueN
+		if rel > 0.25 {
+			t.Fatalf("refined N = %v, true %v (rel err %v)", e.N[fl.ID], trueN, rel)
+		}
+	}
+	// Without refinement the estimate stays wrong.
+	base := NewEstimator(p, f.cat, Options{})
+	eb := base.Estimate(mid)
+	if math.Abs(eb.N[fl.ID]-trueN)/trueN < 0.5 {
+		t.Fatal("baseline unexpectedly accurate; injection broken")
+	}
+}
+
+func TestRefinementImprovesQueryProgress(t *testing.T) {
+	f := newFixture(t)
+	mk := func() (*plan.Node, func(*plan.Node) float64) {
+		root, fl := misestimatedFilterPlan(f)
+		return root, func(n *plan.Node) float64 {
+			if n == fl {
+				return 0.02
+			}
+			return 1
+		}
+	}
+	r1, i1 := mk()
+	errNone := avgAbsQueryErr(t, f, r1, i1, Options{})
+	r2, i2 := mk()
+	errRef := avgAbsQueryErr(t, f, r2, i2, Options{Refine: true, MinRefineRows: 16})
+	if errRef >= errNone {
+		t.Fatalf("refinement did not help: %v vs %v", errRef, errNone)
+	}
+}
+
+func TestBoundingClampsOverestimate(t *testing.T) {
+	f := newFixture(t)
+	// Overestimate the filter 40x: bounds cap it at the scan's table size.
+	root, fl := misestimatedFilterPlan(f)
+	inject := func(n *plan.Node) float64 {
+		if n == fl {
+			return 40
+		}
+		return 1
+	}
+	p, tr := f.trace(t, root, inject)
+	if p.Node(fl.ID).EstRows <= 20000 {
+		t.Fatalf("overestimate injection too small: %v", p.Node(fl.ID).EstRows)
+	}
+	est := NewEstimator(p, f.cat, Options{Bound: true})
+	mid := tr.Snapshots[len(tr.Snapshots)/2]
+	e := est.Estimate(mid)
+	// Filter UB = (UB_scan − K_scan) + K_filter ≤ table size.
+	if e.N[fl.ID] > 20000 {
+		t.Fatalf("bounds failed to clamp: N = %v", e.N[fl.ID])
+	}
+	if e.Bounds[fl.ID].UB > 20001 {
+		t.Fatalf("filter UB = %v, must not exceed input UB", e.Bounds[fl.ID].UB)
+	}
+}
+
+func TestBoundsExactForCompletedSort(t *testing.T) {
+	f := newFixture(t)
+	root, _ := misestimatedFilterPlan(f)
+	p, tr := f.trace(t, root, nil)
+	est := NewEstimator(p, f.cat, Options{Bound: true})
+	e := est.Estimate(tr.Final)
+	// After completion every bound collapses to the true count for
+	// deterministic operators like Sort.
+	sortID := p.Root.ID
+	if e.Bounds[sortID].LB != e.Bounds[sortID].UB {
+		t.Fatalf("final sort bounds not tight: %+v", e.Bounds[sortID])
+	}
+	if e.Bounds[sortID].LB != float64(tr.TrueRows[sortID]) {
+		t.Fatalf("final bound %v != true %d", e.Bounds[sortID].LB, tr.TrueRows[sortID])
+	}
+}
+
+func TestTwoPhaseBlockingProgressRisesDuringInput(t *testing.T) {
+	f := newFixture(t)
+	agg := f.b.HashAgg(f.b.TableScan("fact", nil, nil), []int{2}, []expr.AggSpec{{Kind: expr.CountStar}})
+	p, tr := f.trace(t, agg, nil)
+	var snapMid int
+	for i, s := range tr.Snapshots {
+		if s.Op(1).ActualRows > 5000 && s.Op(agg.ID).ActualRows == 0 {
+			snapMid = i
+		}
+	}
+	if snapMid == 0 {
+		t.Skip("no mid-input snapshot captured")
+	}
+	mid := tr.Snapshots[snapMid]
+	withPhases := NewEstimator(p, f.cat, Options{TwoPhaseBlocking: true}).Estimate(mid)
+	without := NewEstimator(p, f.cat, Options{}).Estimate(mid)
+	if without.Op[agg.ID] != 0 {
+		t.Fatalf("output-only model should report 0 before output, got %v", without.Op[agg.ID])
+	}
+	if withPhases.Op[agg.ID] <= 0.1 {
+		t.Fatalf("two-phase model stuck at %v during input", withPhases.Op[agg.ID])
+	}
+}
+
+func TestStoragePredIOProgress(t *testing.T) {
+	f := newFixture(t)
+	// A hard-to-estimate predicate pushed into the scan (§4.3).
+	pushed := expr.Eq(expr.ModBy(expr.C(0, "id"), expr.KInt(97)), expr.KInt(0))
+	scan := f.b.TableScan("fact", nil, pushed)
+	p, tr := f.trace(t, scan, func(n *plan.Node) float64 {
+		if n == scan {
+			return 30 // gross overestimate of the pushed predicate
+		}
+		return 1
+	})
+	mid := tr.Snapshots[len(tr.Snapshots)/2]
+	ioBased := NewEstimator(p, f.cat, Options{StoragePredIO: true}).Estimate(mid)
+	rowBased := NewEstimator(p, f.cat, Options{}).Estimate(mid)
+	trueFrac := float64(mid.Op(scan.ID).LogicalReads) / float64(mid.Op(scan.ID).PagesTotal)
+	if math.Abs(ioBased.Op[scan.ID]-trueFrac) > 0.02 {
+		t.Fatalf("IO-based progress %v, want %v", ioBased.Op[scan.ID], trueFrac)
+	}
+	// The row-based estimate is badly off given the misestimate.
+	if math.Abs(rowBased.Op[scan.ID]-trueFrac) < math.Abs(ioBased.Op[scan.ID]-trueFrac) {
+		t.Fatal("IO-based progress should beat row-based under misestimation")
+	}
+}
+
+func TestBatchModeSegmentProgress(t *testing.T) {
+	f := newFixture(t)
+	scan := f.b.ColumnstoreScan("fact", "cs", []int{0, 2}, nil)
+	p, tr := f.trace(t, scan, nil)
+	var mid int
+	for i, s := range tr.Snapshots {
+		if sp := s.Op(scan.ID); sp.SegmentsProcessed > 0 && sp.SegmentsProcessed < sp.SegmentsTotal {
+			mid = i
+			break
+		}
+	}
+	s := tr.Snapshots[mid]
+	e := NewEstimator(p, f.cat, Options{BatchMode: true}).Estimate(s)
+	want := float64(s.Op(scan.ID).SegmentsProcessed) / float64(s.Op(scan.ID).SegmentsTotal)
+	if math.Abs(e.Op[scan.ID]-want) > 1e-9 {
+		t.Fatalf("batch progress %v, want segment fraction %v", e.Op[scan.ID], want)
+	}
+}
+
+func TestSemiBlockingInnerDriverAndRebindScaling(t *testing.T) {
+	f := newFixture(t)
+	outer := f.b.TableScan("dim", nil, nil)
+	inner := f.b.SeekEq("fact", "ix_dim", []expr.Expr{expr.C(0, "dim.id")}, nil)
+	nl := f.b.NestedLoopsNode(plan.LogicalInnerJoin, outer, inner, nil)
+	nl.NLBuffer = 1 << 20 // buffer ALL outer rows before probing (§4.4 worst case)
+	p, tr := f.trace(t, nl, nil)
+	// Find a snapshot where the outer is fully consumed but the join is
+	// far from done.
+	var snap int
+	for i, s := range tr.Snapshots {
+		if s.Op(outer.ID).ActualRows == 500 && float64(s.Op(nl.ID).ActualRows) < 0.5*float64(tr.TrueRows[nl.ID]) {
+			snap = i
+			break
+		}
+	}
+	if snap == 0 {
+		t.Fatal("buffering scenario not captured")
+	}
+	s := tr.Snapshots[snap]
+	plain := NewEstimator(p, f.cat, Options{DriverNodeQuery: true}).Estimate(s)
+	adjusted := NewEstimator(p, f.cat, Options{DriverNodeQuery: true, Refine: true, SemiBlocking: true, MinRefineRows: 8}).Estimate(s)
+	truth := trueQueryProgress(tr, s)
+	// Plain DNE sees the outer driver at 100% and wildly overestimates.
+	if plain.Query < 0.9 {
+		t.Fatalf("plain DNE should be fooled by buffering, got %v (truth %v)", plain.Query, truth)
+	}
+	if math.Abs(adjusted.Query-truth) >= math.Abs(plain.Query-truth) {
+		t.Fatalf("semi-blocking adjustment did not help: adj %v plain %v truth %v", adjusted.Query, plain.Query, truth)
+	}
+	// Rebind scaling: the refined inner N should approximate the true
+	// total rather than the per-probe count.
+	trueInner := float64(tr.TrueRows[inner.ID])
+	if s.Op(inner.ID).Rebinds > 32 {
+		rel := math.Abs(adjusted.N[inner.ID]-trueInner) / trueInner
+		if rel > 0.5 {
+			t.Fatalf("inner refined N = %v, true %v", adjusted.N[inner.ID], trueInner)
+		}
+	}
+}
+
+func TestWeightedProgressTracksTimeBetter(t *testing.T) {
+	f := newFixture(t)
+	// The Fig. 12 scenario: consecutive pipelines whose per-tuple speeds
+	// differ by over an order of magnitude. Pipeline 1 streams 20000 rows
+	// through a cheap batch-mode aggregation; pipeline 2 runs a slow
+	// random-I/O nested-loops lookup over few rows. Unweighted progress
+	// over-credits the fast pipeline; weights fix it.
+	mk := func() *plan.Node {
+		cs := f.b.ColumnstoreScan("fact", "cs", []int{1}, nil)
+		agg := f.b.HashAgg(cs, []int{1}, []expr.AggSpec{{Kind: expr.CountStar}})
+		agg.BatchMode = true
+		inner := f.b.SeekEq("fact", "ix_dim", []expr.Expr{expr.C(0, "agg.dim_id")}, nil)
+		return f.b.NestedLoopsNode(plan.LogicalInnerJoin, agg, inner, nil)
+	}
+	timeErr := func(o Options) float64 {
+		p, tr := f.trace(t, mk(), nil)
+		ests := estimateAll(p, f.cat, tr, o)
+		var sum float64
+		for i, s := range tr.Snapshots {
+			frac := float64(s.At-tr.StartedAt) / float64(tr.EndedAt-tr.StartedAt)
+			sum += math.Abs(ests[i].Query - frac)
+		}
+		return sum / float64(len(tr.Snapshots))
+	}
+	base := Options{TwoPhaseBlocking: true, BatchMode: true}
+	weighted := base
+	weighted.Weighted = true
+	eUnweighted := timeErr(base)
+	eWeighted := timeErr(weighted)
+	if eWeighted >= eUnweighted {
+		t.Fatalf("weights did not improve time correlation: %v vs %v", eWeighted, eUnweighted)
+	}
+}
+
+func TestQueryProgressReachesOneAtCompletion(t *testing.T) {
+	f := newFixture(t)
+	for _, o := range []Options{TGNOptions(), DNEOptions(), LQSOptions()} {
+		root, _ := misestimatedFilterPlan(f)
+		p, tr := f.trace(t, root, nil)
+		e := NewEstimator(p, f.cat, o).Estimate(tr.Final)
+		if e.Query < 0.99 {
+			t.Fatalf("final query progress %v with options %+v", e.Query, o)
+		}
+		for id, op := range e.Op {
+			if tr.Final.Op(id).Closed && op != 1 {
+				t.Fatalf("closed op %d progress %v", id, op)
+			}
+		}
+	}
+}
+
+func TestPerOpProgressMonotoneUnderLQS(t *testing.T) {
+	f := newFixture(t)
+	root, _ := misestimatedFilterPlan(f)
+	p, tr := f.trace(t, root, nil)
+	ests := estimateAll(p, f.cat, tr, LQSOptions())
+	// Operator progress may fluctuate while estimates refine, but must
+	// never run backwards by a large amount between adjacent snapshots.
+	for i := 1; i < len(ests); i++ {
+		for id := range ests[i].Op {
+			if ests[i].Op[id] < ests[i-1].Op[id]-0.25 {
+				t.Fatalf("op %d progress fell from %v to %v at snapshot %d",
+					id, ests[i-1].Op[id], ests[i].Op[id], i)
+			}
+		}
+	}
+}
+
+func TestInterpolationConvergesSlower(t *testing.T) {
+	f := newFixture(t)
+	root, fl := misestimatedFilterPlan(f)
+	inject := func(n *plan.Node) float64 {
+		if n == fl {
+			return 0.01 // 100x underestimate: interpolation's weak spot
+		}
+		return 1
+	}
+	p, tr := f.trace(t, root, inject)
+	trueN := float64(tr.TrueRows[fl.ID])
+	snap := tr.Snapshots[len(tr.Snapshots)/4]
+	if snap.Op(fl.ID).ActualRows < 64 {
+		t.Skip("not enough rows observed at the quarter mark")
+	}
+	direct := NewEstimator(p, f.cat, Options{Refine: true, MinRefineRows: 16}).Estimate(snap)
+	interp := NewEstimator(p, f.cat, Options{Refine: true, InterpRefine: true, MinRefineRows: 16}).Estimate(snap)
+	errDirect := math.Abs(direct.N[fl.ID] - trueN)
+	errInterp := math.Abs(interp.N[fl.ID] - trueN)
+	if errDirect >= errInterp {
+		t.Fatalf("direct scale-up (%v) should beat interpolation (%v) under gross misestimates", errDirect, errInterp)
+	}
+}
+
+func TestDNEVersusTGNOnCleanPlan(t *testing.T) {
+	f := newFixture(t)
+	// A clean scan-heavy plan: driver cardinalities exact, so DNE should
+	// be accurate even with a bad join estimate.
+	mk := func() (*plan.Node, func(*plan.Node) float64) {
+		hj := f.b.HashJoinNode(plan.LogicalInnerJoin,
+			f.b.TableScan("fact", nil, nil), f.b.TableScan("dim", nil, nil),
+			[]int{1}, []int{0}, nil)
+		return hj, func(n *plan.Node) float64 {
+			if n == hj {
+				return 20
+			}
+			return 1
+		}
+	}
+	r1, i1 := mk()
+	errTGN := avgAbsQueryErr(t, f, r1, i1, TGNOptions())
+	r2, i2 := mk()
+	errDNE := avgAbsQueryErr(t, f, r2, i2, DNEOptions())
+	// Note: the Errorcount oracle is itself TGN-shaped, so we only check
+	// DNE stays sane rather than strictly better.
+	if errDNE > 0.5 || errTGN < 0 {
+		t.Fatalf("errors out of range: DNE %v TGN %v", errDNE, errTGN)
+	}
+}

@@ -1,0 +1,130 @@
+package progress
+
+import (
+	"math"
+
+	"lqs/internal/engine/dmv"
+	"lqs/internal/plan"
+)
+
+// Feedback implements the paper's §7 future-work item (b): "the ability to
+// use feedback from prior executions of queries to adjust the weights that
+// model the relative costs of CPU and I/O overhead when estimating
+// query-level progress."
+//
+// It accumulates observed per-row operator costs — the operator's own CPU
+// plus I/O virtual time divided by the rows it produced — from completed
+// traces, keyed by physical operator type (scans additionally by table).
+// An Estimator whose Options.WeightFeedback points at a populated Feedback
+// uses these observed weights in place of the optimizer's cost-model
+// weights (§4.6), correcting systematic modelling gaps such as buffer-pool
+// caching effects the optimizer cannot see.
+//
+// Feedback is not safe for concurrent use.
+type Feedback struct {
+	perRow map[feedbackKey]*feedbackAcc
+}
+
+type feedbackKey struct {
+	op    plan.PhysicalOp
+	table string // non-empty for storage access paths
+}
+
+type feedbackAcc struct {
+	totalNS float64
+	rows    float64
+}
+
+// NewFeedback returns an empty calibration store.
+func NewFeedback() *Feedback {
+	return &Feedback{perRow: make(map[feedbackKey]*feedbackAcc)}
+}
+
+func keyFor(n *plan.Node) feedbackKey {
+	k := feedbackKey{op: n.Physical}
+	if n.IsScan() || n.Physical == plan.RIDLookup {
+		k.table = n.Table
+	}
+	return k
+}
+
+// calibratable reports whether an operator's observed per-row cost is a
+// stable property of its class. Filtered leaf scans are not: their
+// per-output-row cost is dominated by the particular query's selectivity
+// (the whole object is read regardless of how many rows survive), so an
+// average across queries would poison every other query using the table.
+// Their cost-model weights already embed the per-query selectivity.
+func calibratable(n *plan.Node) bool {
+	if n.IsScan() && (n.Pred != nil || n.HasStoragePred()) {
+		return false
+	}
+	return true
+}
+
+// Observe folds one completed query's trace into the calibration: each
+// operator contributes its self-charged CPU+I/O time and the row count
+// that drove it.
+func (f *Feedback) Observe(p *plan.Plan, tr *dmv.Trace) {
+	if tr.Final == nil {
+		return
+	}
+	for _, n := range p.Nodes {
+		if !calibratable(n) {
+			continue
+		}
+		op := tr.Final.Op(n.ID)
+		rows := float64(op.ActualRows)
+		if len(n.Children) > 0 {
+			// Interior operators do their work per row CONSUMED — a
+			// selective join's per-output cost would explode toward
+			// infinity as its output approaches zero.
+			rows = 0
+			for _, c := range n.Children {
+				rows += float64(tr.Final.Op(c.ID).ActualRows)
+			}
+		}
+		total := float64(op.CPUTime + op.IOTime)
+		if total <= 0 {
+			continue
+		}
+		acc := f.perRow[keyFor(n)]
+		if acc == nil {
+			acc = &feedbackAcc{}
+			f.perRow[keyFor(n)] = acc
+		}
+		acc.totalNS += total
+		acc.rows += math.Max(rows, 1)
+	}
+}
+
+// Weight returns the observed per-row cost for a node, normalized to the
+// same per-output-row convention the §4.6 weights use, or ok=false when no
+// observation exists for the operator type.
+func (f *Feedback) Weight(n *plan.Node) (float64, bool) {
+	if !calibratable(n) {
+		return 0, false
+	}
+	acc := f.perRow[keyFor(n)]
+	if acc == nil || acc.rows <= 0 {
+		return 0, false
+	}
+	w := acc.totalNS / acc.rows
+	if len(n.Children) > 0 {
+		// Observed cost is per input row; the weight convention is per
+		// output row (duration = w · N̂_out), so scale by the estimated
+		// input/output ratio of this particular node.
+		var in float64
+		for _, c := range n.Children {
+			in += math.Max(c.EstRows, 1)
+		}
+		out := math.Max(n.EstRows, 1)
+		w = w * in / out
+	}
+	if w <= 0 {
+		return 0, false
+	}
+	return w, true
+}
+
+// Observations reports how many (operator, table) classes have been seen.
+func (f *Feedback) Observations() int { return len(f.perRow) }

@@ -1,0 +1,143 @@
+package progress
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"lqs/internal/engine/dmv"
+	"lqs/internal/engine/exec"
+	"lqs/internal/opt"
+	"lqs/internal/plan"
+	"lqs/internal/sim"
+	"lqs/internal/workload"
+)
+
+// TestRandomPlanInvariants is a fuzz-style sweep: random decision-support
+// plans over random schemas, traced and then estimated under every
+// estimator configuration, asserting the invariants that must hold no
+// matter how wrong the cardinality estimates are:
+//
+//   - query and operator progress stay in [0, 1];
+//   - closed operators report exactly 1, unopened ones 0;
+//   - the Appendix A bounds always contain the true cardinality;
+//   - refined estimates stay within the bounds when bounding is on;
+//   - the final estimate reports (near-)completion.
+func TestRandomPlanInvariants(t *testing.T) {
+	cfg := workload.SynthConfig{
+		Name: "FUZZ", Seed: 20260705,
+		NumTables: 8, MinRows: 200, MaxRows: 3000,
+		NumQueries: 40, MinJoins: 2, MaxJoins: 7,
+		GroupByFrac: 0.5,
+	}
+	w := workload.Synth(cfg)
+	configs := map[string]Options{
+		"TGN":       TGNOptions(),
+		"DNE":       DNEOptions(),
+		"LQS":       LQSOptions(),
+		"BoundOnly": {Bound: true},
+		"Interp":    {Refine: true, InterpRefine: true, Bound: true},
+		"Path":      func() Options { o := LQSOptions(); o.LongestPathOnly = true; return o }(),
+	}
+	queries := w.Queries
+	if testing.Short() {
+		queries = queries[:8]
+	}
+	for _, q := range queries {
+		p := plan.Finalize(q.Build(w.Builder()))
+		opt.NewEstimator(w.DB.Catalog).Estimate(p)
+		clock := sim.NewClock()
+		poller := dmv.NewPoller(clock, 150*time.Microsecond)
+		w.DB.ColdStart()
+		query := exec.NewQuery(p, w.DB, opt.DefaultCostModel(), clock)
+		poller.Register(query)
+		query.Run()
+		tr := poller.Finish(query)
+		if len(tr.Snapshots) < 2 {
+			continue
+		}
+		for name, o := range configs {
+			est := NewEstimator(p, w.DB.Catalog, o)
+			snaps := append(append([]*dmv.Snapshot{}, tr.Snapshots...), tr.Final)
+			for si, s := range snaps {
+				e := est.Estimate(s)
+				if e.Query < 0 || e.Query > 1 || math.IsNaN(e.Query) {
+					t.Fatalf("%s/%s snap %d: query progress %v", q.Name, name, si, e.Query)
+				}
+				for id, opProg := range e.Op {
+					if opProg < 0 || opProg > 1 || math.IsNaN(opProg) {
+						t.Fatalf("%s/%s snap %d node %d: op progress %v", q.Name, name, si, id, opProg)
+					}
+					prof := s.Op(id)
+					if prof.Closed && opProg != 1 {
+						t.Fatalf("%s/%s node %d: closed but progress %v", q.Name, name, id, opProg)
+					}
+					if !prof.Opened && !prof.Closed && opProg != 0 {
+						t.Fatalf("%s/%s node %d: unopened but progress %v", q.Name, name, id, opProg)
+					}
+					if math.IsNaN(e.N[id]) || e.N[id] < 0 {
+						t.Fatalf("%s/%s node %d: bad refined N %v", q.Name, name, id, e.N[id])
+					}
+				}
+				if o.Bound {
+					for id, b := range e.Bounds {
+						truth := float64(tr.TrueRows[id])
+						if truth < b.LB-1e-6 || truth > b.UB+1e-6 {
+							t.Fatalf("%s/%s snap %d node %d (%v): true N %v outside bounds [%v, %v]",
+								q.Name, name, si, id, p.Node(id).Logical, truth, b.LB, b.UB)
+						}
+						if e.N[id] < b.LB-1e-6 || e.N[id] > b.UB+1e-6 {
+							t.Fatalf("%s/%s node %d: refined N %v escaped bounds [%v, %v]",
+								q.Name, name, id, e.N[id], b.LB, b.UB)
+						}
+					}
+				}
+			}
+			final := est.Estimate(tr.Final)
+			// Refinement (closed ⇒ N̂=k) guarantees completion reads 100%.
+			// The non-refining configurations may end short when estimates
+			// are off (bounds on inner-side operators stay loose even at
+			// completion) — the paper's baselines share this — but must
+			// still be near completion.
+			minFinal := 0.99
+			if !o.Refine {
+				minFinal = 0.6
+			}
+			if final.Query < minFinal {
+				t.Fatalf("%s/%s: final query progress %v", q.Name, name, final.Query)
+			}
+		}
+	}
+}
+
+// TestEstimatePureFunction: estimating the same snapshot twice yields
+// identical results (the estimator holds no hidden mutable state between
+// polls, so a client can re-evaluate history freely).
+func TestEstimatePureFunction(t *testing.T) {
+	cfg := workload.SynthConfig{
+		Name: "PURE", Seed: 7, NumTables: 6, MinRows: 200, MaxRows: 1500,
+		NumQueries: 3, MinJoins: 2, MaxJoins: 4, GroupByFrac: 1,
+	}
+	w := workload.Synth(cfg)
+	p := plan.Finalize(w.Queries[0].Build(w.Builder()))
+	opt.NewEstimator(w.DB.Catalog).Estimate(p)
+	clock := sim.NewClock()
+	poller := dmv.NewPoller(clock, 200*time.Microsecond)
+	query := exec.NewQuery(p, w.DB, opt.DefaultCostModel(), clock)
+	poller.Register(query)
+	query.Run()
+	tr := poller.Finish(query)
+	est := NewEstimator(p, w.DB.Catalog, LQSOptions())
+	for _, s := range tr.Snapshots {
+		a := est.Estimate(s)
+		b := est.Estimate(s)
+		if a.Query != b.Query {
+			t.Fatalf("estimate not deterministic: %v vs %v", a.Query, b.Query)
+		}
+		for id := range a.N {
+			if a.N[id] != b.N[id] {
+				t.Fatalf("node %d refined N differs across calls", id)
+			}
+		}
+	}
+}

@@ -1,0 +1,476 @@
+package workload
+
+import (
+	"fmt"
+
+	"lqs/internal/engine/expr"
+	"lqs/internal/engine/types"
+	"lqs/internal/plan"
+)
+
+// rowOf tracks column offsets through join concatenation: a row consisting
+// of the listed tables' columns in order. Semi/anti joins preserve only
+// one side, so builders construct a fresh rowOf after them.
+type rowOf struct {
+	b      *plan.Builder
+	tables []string
+}
+
+func row(b *plan.Builder, tables ...string) rowOf { return rowOf{b: b, tables: tables} }
+
+// c returns the column reference for table.column within the joined row.
+func (r rowOf) c(table, column string) *expr.Col {
+	off := 0
+	for _, t := range r.tables {
+		if t == table {
+			return expr.C(off+r.b.Cat.MustTable(t).MustCol(column), table+"."+column)
+		}
+		off += len(r.b.Cat.MustTable(t).Columns)
+	}
+	panic(fmt.Sprintf("workload: table %s not in joined row %v", table, r.tables))
+}
+
+// idx returns the ordinal of table.column within the joined row.
+func (r rowOf) idx(table, column string) int { return r.c(table, column).Idx }
+
+// width returns the joined row's total column count.
+func (r rowOf) width() int {
+	w := 0
+	for _, t := range r.tables {
+		w += len(r.b.Cat.MustTable(t).Columns)
+	}
+	return w
+}
+
+// scan builds the design-appropriate full-table access path.
+func tpchScan(b *plan.Builder, columnstore bool, table string, pushed expr.Expr) *plan.Node {
+	if columnstore {
+		return b.ColumnstoreScan(table, "cs", nil, pushed)
+	}
+	return b.TableScan(table, nil, pushed)
+}
+
+// join builds a hash join (probe, build) with batch mode set under the
+// columnstore design.
+func tpchJoin(b *plan.Builder, columnstore bool, kind plan.LogicalOp, probe, build *plan.Node, pc, bc []int, resid expr.Expr) *plan.Node {
+	j := b.HashJoinNode(kind, probe, build, pc, bc, resid)
+	j.BatchMode = columnstore
+	return j
+}
+
+func tpchAgg(b *plan.Builder, columnstore bool, child *plan.Node, groups []int, aggs []expr.AggSpec) *plan.Node {
+	a := b.HashAgg(child, groups, aggs)
+	a.BatchMode = columnstore
+	return a
+}
+
+// tpchQueries builds the suite for either design; most queries share their
+// logical shape across designs, with access paths and join strategies
+// swapped (row mode: seeks, nested loops, merge joins, spools; batch mode:
+// columnstore scans + hash operators), mirroring how the optimizer's plans
+// shift between the two physical designs (paper Fig. 19).
+func tpchQueries(cs bool) []Query {
+	qs := []Query{
+		{Name: "Q1", Build: func(b *plan.Builder) *plan.Node {
+			li := row(b, "lineitem")
+			scan := tpchScan(b, cs, "lineitem", expr.Le(li.c("lineitem", "l_shipdate"), expr.KInt(2300)))
+			comp := b.ComputeScalar(scan,
+				expr.Times(li.c("lineitem", "l_extendedprice"),
+					expr.Minus(expr.KInt(1), li.c("lineitem", "l_discount"))))
+			ex := b.ExchangeNode(comp, plan.RepartitionStreams)
+			agg := tpchAgg(b, cs, ex,
+				[]int{li.idx("lineitem", "l_returnflag"), li.idx("lineitem", "l_linestatus")},
+				[]expr.AggSpec{
+					{Kind: expr.Sum, Arg: li.c("lineitem", "l_quantity")},
+					{Kind: expr.Sum, Arg: li.c("lineitem", "l_extendedprice")},
+					{Kind: expr.Sum, Arg: expr.C(li.width(), "revenue")},
+					{Kind: expr.Avg, Arg: li.c("lineitem", "l_discount")},
+					{Kind: expr.CountStar},
+				})
+			return b.Sort(agg, []int{0, 1}, nil)
+		}},
+
+		{Name: "Q3", Build: func(b *plan.Builder) *plan.Node {
+			cust := tpchScan(b, cs, "customer",
+				expr.Eq(row(b, "customer").c("customer", "c_mktsegment"), expr.K(types.Str("BUILDING"))))
+			ord := tpchScan(b, cs, "orders",
+				expr.Lt(row(b, "orders").c("orders", "o_orderdate"), expr.KInt(1200)))
+			oc := row(b, "orders", "customer")
+			j1 := tpchJoin(b, cs, plan.LogicalInnerJoin, ord, cust,
+				[]int{row(b, "orders").idx("orders", "o_custkey")},
+				[]int{row(b, "customer").idx("customer", "c_custkey")}, nil)
+			li := tpchScan(b, cs, "lineitem",
+				expr.Gt(row(b, "lineitem").c("lineitem", "l_shipdate"), expr.KInt(1200)))
+			loc := row(b, "lineitem", "orders", "customer")
+			j2 := tpchJoin(b, cs, plan.LogicalInnerJoin, li, j1,
+				[]int{loc.idx("lineitem", "l_orderkey")},
+				[]int{oc.idx("orders", "o_orderkey")}, nil)
+			comp := b.ComputeScalar(j2,
+				expr.Times(loc.c("lineitem", "l_extendedprice"),
+					expr.Minus(expr.KInt(1), loc.c("lineitem", "l_discount"))))
+			agg := tpchAgg(b, cs, comp,
+				[]int{loc.idx("lineitem", "l_orderkey"), loc.idx("orders", "o_orderdate")},
+				[]expr.AggSpec{{Kind: expr.Sum, Arg: expr.C(loc.width(), "revenue")}})
+			return b.TopNSortNode(agg, 10, []int{2}, []bool{true})
+		}},
+
+		{Name: "Q4", Build: func(b *plan.Builder) *plan.Node {
+			o := row(b, "orders")
+			ord := tpchScan(b, cs, "orders", expr.And(
+				expr.Ge(o.c("orders", "o_orderdate"), expr.KInt(800)),
+				expr.Lt(o.c("orders", "o_orderdate"), expr.KInt(1000))))
+			li := tpchScan(b, cs, "lineitem",
+				expr.Gt(row(b, "lineitem").c("lineitem", "l_discount"), expr.K(types.Float(0.05))))
+			semi := tpchJoin(b, cs, plan.LogicalLeftSemiJoin, ord, li,
+				[]int{o.idx("orders", "o_orderkey")},
+				[]int{row(b, "lineitem").idx("lineitem", "l_orderkey")}, nil)
+			agg := tpchAgg(b, cs, semi,
+				[]int{o.idx("orders", "o_orderpriority")},
+				[]expr.AggSpec{{Kind: expr.CountStar}})
+			return b.Sort(agg, []int{0}, nil)
+		}},
+
+		{Name: "Q5", Build: func(b *plan.Builder) *plan.Node {
+			reg := tpchScan(b, cs, "region",
+				expr.Eq(row(b, "region").c("region", "r_name"), expr.K(types.Str("ASIA"))))
+			nat := tpchJoin(b, cs, plan.LogicalInnerJoin,
+				tpchScan(b, cs, "nation", nil), reg,
+				[]int{row(b, "nation").idx("nation", "n_regionkey")},
+				[]int{row(b, "region").idx("region", "r_regionkey")}, nil)
+			nr := row(b, "nation", "region")
+			cust := tpchJoin(b, cs, plan.LogicalInnerJoin,
+				tpchScan(b, cs, "customer", nil), nat,
+				[]int{row(b, "customer").idx("customer", "c_nationkey")},
+				[]int{nr.idx("nation", "n_nationkey")}, nil)
+			cnr := row(b, "customer", "nation", "region")
+			ord := tpchJoin(b, cs, plan.LogicalInnerJoin,
+				tpchScan(b, cs, "orders",
+					expr.Lt(row(b, "orders").c("orders", "o_orderdate"), expr.KInt(1200))), cust,
+				[]int{row(b, "orders").idx("orders", "o_custkey")},
+				[]int{cnr.idx("customer", "c_custkey")}, nil)
+			ocnr := row(b, "orders", "customer", "nation", "region")
+			// Bitmap semi-join reduction: build-side order keys filter the
+			// lineitem scan inside the storage engine (§4.3).
+			bm := b.BitmapNode(ord, []int{ocnr.idx("orders", "o_orderkey")})
+			liScan := tpchScan(b, cs, "lineitem", nil)
+			b.AttachBitmap(liScan, bm, []int{row(b, "lineitem").idx("lineitem", "l_orderkey")})
+			locnr := row(b, "lineitem", "orders", "customer", "nation", "region")
+			j := tpchJoin(b, cs, plan.LogicalInnerJoin, liScan, bm,
+				[]int{locnr.idx("lineitem", "l_orderkey")},
+				[]int{ocnr.idx("orders", "o_orderkey")}, nil)
+			comp := b.ComputeScalar(j,
+				expr.Times(locnr.c("lineitem", "l_extendedprice"),
+					expr.Minus(expr.KInt(1), locnr.c("lineitem", "l_discount"))))
+			ex := b.ExchangeNode(comp, plan.GatherStreams)
+			agg := tpchAgg(b, cs, ex,
+				[]int{locnr.idx("nation", "n_name")},
+				[]expr.AggSpec{{Kind: expr.Sum, Arg: expr.C(locnr.width(), "revenue")}})
+			return b.Sort(agg, []int{1}, []bool{true})
+		}},
+
+		{Name: "Q6", Build: func(b *plan.Builder) *plan.Node {
+			li := row(b, "lineitem")
+			scan := tpchScan(b, cs, "lineitem", expr.And(
+				expr.Ge(li.c("lineitem", "l_shipdate"), expr.KInt(365)),
+				expr.Lt(li.c("lineitem", "l_shipdate"), expr.KInt(730)),
+				expr.Ge(li.c("lineitem", "l_discount"), expr.K(types.Float(0.02))),
+				expr.Le(li.c("lineitem", "l_discount"), expr.K(types.Float(0.06))),
+				expr.Lt(li.c("lineitem", "l_quantity"), expr.KInt(24))))
+			comp := b.ComputeScalar(scan,
+				expr.Times(li.c("lineitem", "l_extendedprice"), li.c("lineitem", "l_discount")))
+			return tpchAgg(b, cs, comp, nil,
+				[]expr.AggSpec{{Kind: expr.Sum, Arg: expr.C(li.width(), "revenue")}})
+		}},
+
+		{Name: "Q7", Build: func(b *plan.Builder) *plan.Node {
+			if cs {
+				// Batch designs have no ordered access paths: hash join.
+				j := tpchJoin(b, cs, plan.LogicalInnerJoin,
+					tpchScan(b, cs, "lineitem", nil),
+					tpchScan(b, cs, "orders", nil),
+					[]int{row(b, "lineitem").idx("lineitem", "l_orderkey")},
+					[]int{row(b, "orders").idx("orders", "o_orderkey")}, nil)
+				lo := row(b, "lineitem", "orders")
+				fl := b.Filter(j, expr.Lt(lo.c("lineitem", "l_shipdate"), lo.c("orders", "o_orderdate")))
+				comp := b.ComputeScalar(fl, expr.DivBy(lo.c("orders", "o_orderdate"), expr.KInt(365)))
+				agg := tpchAgg(b, cs, comp, []int{lo.width()},
+					[]expr.AggSpec{{Kind: expr.Sum, Arg: lo.c("lineitem", "l_extendedprice")}, {Kind: expr.CountStar}})
+				return b.Sort(agg, []int{0}, nil)
+			}
+			// Row design: both inputs come pre-sorted on the join key from
+			// B-tree leaf order → merge join under an exchange.
+			l := b.IndexScan("lineitem", "ix_orderkey", nil, nil)
+			o := b.ClusteredIndexScan("orders", "pk", nil, nil)
+			lo := row(b, "lineitem", "orders")
+			mj := b.MergeJoinNode(plan.LogicalInnerJoin, l, o,
+				[]int{row(b, "lineitem").idx("lineitem", "l_orderkey")},
+				[]int{row(b, "orders").idx("orders", "o_orderkey")}, nil)
+			ex := b.ExchangeNode(mj, plan.GatherStreams)
+			fl := b.Filter(ex, expr.Lt(lo.c("lineitem", "l_shipdate"), lo.c("orders", "o_orderdate")))
+			comp := b.ComputeScalar(fl, expr.DivBy(lo.c("orders", "o_orderdate"), expr.KInt(365)))
+			agg := b.HashAgg(comp, []int{lo.width()},
+				[]expr.AggSpec{{Kind: expr.Sum, Arg: lo.c("lineitem", "l_extendedprice")}, {Kind: expr.CountStar}})
+			return b.Sort(agg, []int{0}, nil)
+		}},
+
+		{Name: "Q9", Build: func(b *plan.Builder) *plan.Node {
+			part := tpchScan(b, cs, "part",
+				&expr.Like{E: row(b, "part").c("part", "p_type"), Pattern: "PROMO%"})
+			ps := tpchJoin(b, cs, plan.LogicalInnerJoin,
+				tpchScan(b, cs, "partsupp", nil), part,
+				[]int{row(b, "partsupp").idx("partsupp", "ps_partkey")},
+				[]int{row(b, "part").idx("part", "p_partkey")}, nil)
+			psp := row(b, "partsupp", "part")
+			bm := b.BitmapNode(ps, []int{psp.idx("partsupp", "ps_partkey")})
+			liScan := tpchScan(b, cs, "lineitem", nil)
+			b.AttachBitmap(liScan, bm, []int{row(b, "lineitem").idx("lineitem", "l_partkey")})
+			lpsp := row(b, "lineitem", "partsupp", "part")
+			j := tpchJoin(b, cs, plan.LogicalInnerJoin, liScan, bm,
+				[]int{lpsp.idx("lineitem", "l_partkey")},
+				[]int{psp.idx("partsupp", "ps_partkey")},
+				expr.Eq(lpsp.c("lineitem", "l_suppkey"), lpsp.c("partsupp", "ps_suppkey")))
+			comp := b.ComputeScalar(j, expr.Minus(
+				expr.Times(lpsp.c("lineitem", "l_extendedprice"),
+					expr.Minus(expr.KInt(1), lpsp.c("lineitem", "l_discount"))),
+				expr.Times(lpsp.c("partsupp", "ps_supplycost"), lpsp.c("lineitem", "l_quantity"))))
+			agg := tpchAgg(b, cs, comp,
+				[]int{lpsp.idx("part", "p_brand")},
+				[]expr.AggSpec{{Kind: expr.Sum, Arg: expr.C(lpsp.width(), "profit")}})
+			return b.Sort(agg, []int{1}, []bool{true})
+		}},
+
+		{Name: "Q10", Build: func(b *plan.Builder) *plan.Node {
+			ord := tpchScan(b, cs, "orders", expr.And(
+				expr.Ge(row(b, "orders").c("orders", "o_orderdate"), expr.KInt(1000)),
+				expr.Lt(row(b, "orders").c("orders", "o_orderdate"), expr.KInt(1090))))
+			custJ := tpchJoin(b, cs, plan.LogicalInnerJoin,
+				tpchScan(b, cs, "customer", nil), ord,
+				[]int{row(b, "customer").idx("customer", "c_custkey")},
+				[]int{row(b, "orders").idx("orders", "o_custkey")}, nil)
+			co := row(b, "customer", "orders")
+			li := tpchScan(b, cs, "lineitem",
+				expr.Eq(row(b, "lineitem").c("lineitem", "l_returnflag"), expr.K(types.Str("R"))))
+			lco := row(b, "lineitem", "customer", "orders")
+			j := tpchJoin(b, cs, plan.LogicalInnerJoin, li, custJ,
+				[]int{lco.idx("lineitem", "l_orderkey")},
+				[]int{co.idx("orders", "o_orderkey")}, nil)
+			comp := b.ComputeScalar(j,
+				expr.Times(lco.c("lineitem", "l_extendedprice"),
+					expr.Minus(expr.KInt(1), lco.c("lineitem", "l_discount"))))
+			agg := tpchAgg(b, cs, comp,
+				[]int{lco.idx("customer", "c_custkey"), lco.idx("customer", "c_nationkey")},
+				[]expr.AggSpec{{Kind: expr.Sum, Arg: expr.C(lco.width(), "revenue")}})
+			return b.TopNSortNode(agg, 20, []int{2}, []bool{true})
+		}},
+
+		{Name: "Q12", Build: func(b *plan.Builder) *plan.Node {
+			if cs {
+				j := tpchJoin(b, cs, plan.LogicalInnerJoin,
+					tpchScan(b, cs, "lineitem",
+						expr.Ge(row(b, "lineitem").c("lineitem", "l_shipdate"), expr.KInt(1800))),
+					tpchScan(b, cs, "orders", nil),
+					[]int{row(b, "lineitem").idx("lineitem", "l_orderkey")},
+					[]int{row(b, "orders").idx("orders", "o_orderkey")}, nil)
+				lo := row(b, "lineitem", "orders")
+				agg := tpchAgg(b, cs, j, []int{lo.idx("orders", "o_orderpriority")},
+					[]expr.AggSpec{{Kind: expr.CountStar}})
+				return b.Sort(agg, []int{0}, nil)
+			}
+			l := b.IndexScan("lineitem", "ix_orderkey", nil,
+				expr.Ge(row(b, "lineitem").c("lineitem", "l_shipdate"), expr.KInt(1800)))
+			o := b.ClusteredIndexScan("orders", "pk", nil, nil)
+			lo := row(b, "lineitem", "orders")
+			mj := b.MergeJoinNode(plan.LogicalInnerJoin, l, o,
+				[]int{row(b, "lineitem").idx("lineitem", "l_orderkey")},
+				[]int{row(b, "orders").idx("orders", "o_orderkey")}, nil)
+			agg := b.HashAgg(mj, []int{lo.idx("orders", "o_orderpriority")},
+				[]expr.AggSpec{{Kind: expr.CountStar}})
+			return b.Sort(agg, []int{0}, nil)
+		}},
+
+		{Name: "Q13", Build: func(b *plan.Builder) *plan.Node {
+			cust := tpchScan(b, cs, "customer", nil)
+			ord := tpchScan(b, cs, "orders",
+				&expr.Not{E: expr.Eq(row(b, "orders").c("orders", "o_orderpriority"), expr.K(types.Str("1-URGENT")))})
+			oj := tpchJoin(b, cs, plan.LogicalLeftOuterJoin, cust, ord,
+				[]int{row(b, "customer").idx("customer", "c_custkey")},
+				[]int{row(b, "orders").idx("orders", "o_custkey")}, nil)
+			co := row(b, "customer", "orders")
+			perCust := tpchAgg(b, cs, oj,
+				[]int{co.idx("customer", "c_custkey")},
+				[]expr.AggSpec{{Kind: expr.Count, Arg: co.c("orders", "o_orderkey")}})
+			dist := tpchAgg(b, cs, perCust, []int{1}, []expr.AggSpec{{Kind: expr.CountStar}})
+			return b.Sort(dist, []int{1, 0}, []bool{true, true})
+		}},
+
+		{Name: "Q14", Build: func(b *plan.Builder) *plan.Node {
+			li := tpchScan(b, cs, "lineitem", expr.And(
+				expr.Ge(row(b, "lineitem").c("lineitem", "l_shipdate"), expr.KInt(1400)),
+				expr.Lt(row(b, "lineitem").c("lineitem", "l_shipdate"), expr.KInt(1430))))
+			lp := row(b, "lineitem", "part")
+			j := tpchJoin(b, cs, plan.LogicalInnerJoin, li,
+				tpchScan(b, cs, "part", nil),
+				[]int{lp.idx("lineitem", "l_partkey")},
+				[]int{row(b, "part").idx("part", "p_partkey")}, nil)
+			comp := b.ComputeScalar(j,
+				expr.Times(lp.c("lineitem", "l_extendedprice"),
+					expr.Minus(expr.KInt(1), lp.c("lineitem", "l_discount"))))
+			return tpchAgg(b, cs, comp, nil, []expr.AggSpec{
+				{Kind: expr.Sum, Arg: expr.C(lp.width(), "revenue")},
+				{Kind: expr.CountStar},
+			})
+		}},
+
+		{Name: "Q16", Build: func(b *plan.Builder) *plan.Node {
+			ps := tpchScan(b, cs, "partsupp", nil)
+			pj := tpchJoin(b, cs, plan.LogicalInnerJoin, ps,
+				tpchScan(b, cs, "part",
+					expr.Gt(row(b, "part").c("part", "p_size"), expr.KInt(20))),
+				[]int{row(b, "partsupp").idx("partsupp", "ps_partkey")},
+				[]int{row(b, "part").idx("part", "p_partkey")}, nil)
+			pp := row(b, "partsupp", "part")
+			anti := tpchJoin(b, cs, plan.LogicalLeftAntiSemiJoin, pj,
+				tpchScan(b, cs, "supplier",
+					expr.Lt(row(b, "supplier").c("supplier", "s_acctbal"), expr.KInt(500))),
+				[]int{pp.idx("partsupp", "ps_suppkey")},
+				[]int{row(b, "supplier").idx("supplier", "s_suppkey")}, nil)
+			dist := b.DistinctSortNode(anti, []int{pp.idx("part", "p_brand"), pp.idx("part", "p_size"), pp.idx("partsupp", "ps_suppkey")})
+			agg := b.StreamAgg(dist,
+				[]int{pp.idx("part", "p_brand"), pp.idx("part", "p_size")},
+				[]expr.AggSpec{{Kind: expr.CountStar}})
+			return b.Sort(agg, []int{2}, []bool{true})
+		}},
+
+		{Name: "Q17", Build: func(b *plan.Builder) *plan.Node {
+			part := tpchScan(b, cs, "part", expr.And(
+				expr.Eq(row(b, "part").c("part", "p_brand"), expr.K(types.Str("Brand#33"))),
+				expr.Eq(row(b, "part").c("part", "p_container"), expr.K(types.Str("MED BOX")))))
+			if cs {
+				j := tpchJoin(b, cs, plan.LogicalInnerJoin,
+					tpchScan(b, cs, "lineitem",
+						expr.Lt(row(b, "lineitem").c("lineitem", "l_quantity"), expr.KInt(10))),
+					part,
+					[]int{row(b, "lineitem").idx("lineitem", "l_partkey")},
+					[]int{row(b, "part").idx("part", "p_partkey")}, nil)
+				lp := row(b, "lineitem", "part")
+				return tpchAgg(b, cs, j, nil,
+					[]expr.AggSpec{{Kind: expr.Sum, Arg: lp.c("lineitem", "l_extendedprice")}})
+			}
+			// Row design: the correlated index nested loops of the real plan.
+			inner := b.SeekEq("lineitem", "ix_partkey",
+				[]expr.Expr{row(b, "part").c("part", "p_partkey")},
+				expr.Lt(row(b, "lineitem").c("lineitem", "l_quantity"), expr.KInt(10)))
+			nl := b.NestedLoopsNode(plan.LogicalInnerJoin, part, inner, nil)
+			pl := row(b, "part", "lineitem")
+			return b.HashAgg(nl, nil,
+				[]expr.AggSpec{{Kind: expr.Sum, Arg: pl.c("lineitem", "l_extendedprice")}})
+		}},
+
+		{Name: "Q18", Build: func(b *plan.Builder) *plan.Node {
+			li := tpchScan(b, cs, "lineitem", nil)
+			perOrder := tpchAgg(b, cs, li,
+				[]int{row(b, "lineitem").idx("lineitem", "l_orderkey")},
+				[]expr.AggSpec{{Kind: expr.Sum, Arg: row(b, "lineitem").c("lineitem", "l_quantity")}})
+			big := b.Filter(perOrder, expr.Gt(expr.C(1, "sum_qty"), expr.KInt(180)))
+			if cs {
+				j := tpchJoin(b, cs, plan.LogicalInnerJoin, big,
+					tpchScan(b, cs, "orders", nil),
+					[]int{0}, []int{row(b, "orders").idx("orders", "o_orderkey")}, nil)
+				oOff := 2
+				return b.TopNSortNode(j, 100, []int{oOff + b.Cat.MustTable("orders").MustCol("o_totalprice")}, []bool{true})
+			}
+			inner := b.SeekEq("orders", "pk", []expr.Expr{expr.C(0, "l_orderkey")}, nil)
+			nl := b.NestedLoopsNode(plan.LogicalInnerJoin, big, inner, nil)
+			oOff := 2
+			return b.TopNSortNode(nl, 100, []int{oOff + b.Cat.MustTable("orders").MustCol("o_totalprice")}, []bool{true})
+		}},
+
+		{Name: "Q19", Build: func(b *plan.Builder) *plan.Node {
+			li := tpchScan(b, cs, "lineitem", nil)
+			lp := row(b, "lineitem", "part")
+			resid := expr.Or(
+				expr.And(
+					expr.Eq(lp.c("part", "p_brand"), expr.K(types.Str("Brand#11"))),
+					expr.Le(lp.c("lineitem", "l_quantity"), expr.KInt(11))),
+				expr.And(
+					expr.Eq(lp.c("part", "p_brand"), expr.K(types.Str("Brand#22"))),
+					expr.Le(lp.c("lineitem", "l_quantity"), expr.KInt(25))),
+				expr.And(
+					expr.Eq(lp.c("part", "p_container"), expr.K(types.Str("LG JAR"))),
+					expr.Ge(lp.c("lineitem", "l_quantity"), expr.KInt(40))))
+			j := tpchJoin(b, cs, plan.LogicalInnerJoin, li,
+				tpchScan(b, cs, "part", nil),
+				[]int{lp.idx("lineitem", "l_partkey")},
+				[]int{row(b, "part").idx("part", "p_partkey")}, resid)
+			return tpchAgg(b, cs, j, nil,
+				[]expr.AggSpec{{Kind: expr.Sum, Arg: lp.c("lineitem", "l_extendedprice")}})
+		}},
+
+		{Name: "Q21", Build: func(b *plan.Builder) *plan.Node {
+			li := tpchScan(b, cs, "lineitem",
+				expr.Eq(row(b, "lineitem").c("lineitem", "l_returnflag"), expr.K(types.Str("A"))))
+			ls := row(b, "lineitem", "supplier")
+			j := tpchJoin(b, cs, plan.LogicalInnerJoin, li,
+				tpchScan(b, cs, "supplier", nil),
+				[]int{ls.idx("lineitem", "l_suppkey")},
+				[]int{row(b, "supplier").idx("supplier", "s_suppkey")}, nil)
+			anti := tpchJoin(b, cs, plan.LogicalLeftAntiSemiJoin, j,
+				tpchScan(b, cs, "orders",
+					expr.Eq(row(b, "orders").c("orders", "o_orderpriority"), expr.K(types.Str("1-URGENT")))),
+				[]int{ls.idx("lineitem", "l_orderkey")},
+				[]int{row(b, "orders").idx("orders", "o_orderkey")}, nil)
+			agg := tpchAgg(b, cs, anti,
+				[]int{ls.idx("supplier", "s_suppkey")},
+				[]expr.AggSpec{{Kind: expr.CountStar}})
+			return b.TopNSortNode(agg, 25, []int{1}, []bool{true})
+		}},
+
+		{Name: "Q22", Build: func(b *plan.Builder) *plan.Node {
+			cust := tpchScan(b, cs, "customer",
+				expr.Gt(row(b, "customer").c("customer", "c_acctbal"), expr.KInt(5000)))
+			anti := tpchJoin(b, cs, plan.LogicalLeftAntiSemiJoin, cust,
+				tpchScan(b, cs, "orders", nil),
+				[]int{row(b, "customer").idx("customer", "c_custkey")},
+				[]int{row(b, "orders").idx("orders", "o_custkey")}, nil)
+			agg := tpchAgg(b, cs, anti,
+				[]int{row(b, "customer").idx("customer", "c_nationkey")},
+				[]expr.AggSpec{
+					{Kind: expr.CountStar},
+					{Kind: expr.Sum, Arg: row(b, "customer").c("customer", "c_acctbal")},
+				})
+			return b.Sort(agg, []int{0}, nil)
+		}},
+	}
+
+	if !cs {
+		// Row-design-only plans exercising spools and keys-only lookups.
+		qs = append(qs,
+			Query{Name: "QSPOOL", Build: func(b *plan.Builder) *plan.Node {
+				sup := b.TableScan("supplier",
+					expr.Gt(row(b, "supplier").c("supplier", "s_acctbal"), expr.KInt(9000)), nil)
+				sp := b.Spool(sup, true)
+				nl := b.NestedLoopsNode(plan.LogicalInnerJoin,
+					b.TableScan("nation", nil, nil), sp,
+					expr.Eq(row(b, "nation", "supplier").c("nation", "n_nationkey"),
+						row(b, "nation", "supplier").c("supplier", "s_nationkey")))
+				agg := b.HashAgg(nl,
+					[]int{row(b, "nation", "supplier").idx("nation", "n_name")},
+					[]expr.AggSpec{{Kind: expr.CountStar}})
+				return b.Sort(agg, []int{0}, nil)
+			}},
+			Query{Name: "QLOOKUP", Build: func(b *plan.Builder) *plan.Node {
+				seek := b.SeekKeysOnly("lineitem", "ix_shipdate",
+					[]expr.Expr{expr.KInt(2350)}, nil, true, false)
+				look := b.RIDLookup(seek, "lineitem")
+				agg := b.HashAgg(look,
+					[]int{row(b, "lineitem").idx("lineitem", "l_returnflag")},
+					[]expr.AggSpec{{Kind: expr.Sum, Arg: row(b, "lineitem").c("lineitem", "l_extendedprice")}})
+				return b.Sort(agg, []int{0}, nil)
+			}},
+		)
+	}
+	return qs
+}
+
+func tpchRowstoreQueries() []Query    { return tpchQueries(false) }
+func tpchColumnstoreQueries() []Query { return tpchQueries(true) }

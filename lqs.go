@@ -1,0 +1,107 @@
+// Package lqs is a from-scratch reproduction of "Operator and Query
+// Progress Estimation in Microsoft SQL Server Live Query Statistics"
+// (SIGMOD 2016): a client-side progress estimator for running queries,
+// together with the full engine substrate it needs — storage, iterator
+// execution with DMV-style counters, and optimizer estimates — built on a
+// deterministic virtual clock.
+//
+// This root package is the public facade: it re-exports the pieces a
+// downstream user composes —
+//
+//	db := lqs.NewDatabase(cat, poolPages)   // storage + catalog
+//	b  := lqs.NewPlanBuilder(db.Catalog)    // physical plan construction
+//	s  := lqs.Start(db, b.TableScan(...), lqs.DefaultOptions())
+//	s.Monitor(500*time.Microsecond, func(q *lqs.QuerySnapshot) {
+//	    fmt.Print(s.Render(q))              // live plan + progress
+//	})
+//
+// See examples/ for runnable scenarios, internal/progress for the paper's
+// techniques (§4.1-§4.7), and internal/experiments for the evaluation
+// harness regenerating every figure of Section 5.
+package lqs
+
+import (
+	"lqs/internal/engine/catalog"
+	"lqs/internal/engine/exec"
+	"lqs/internal/engine/storage"
+	"lqs/internal/engine/types"
+	"lqs/internal/lqs"
+	"lqs/internal/opt"
+	"lqs/internal/plan"
+	"lqs/internal/progress"
+)
+
+// Re-exported core types: the data model, catalog, storage, planning, and
+// monitoring surfaces.
+type (
+	// Value is a single SQL value; Row is a tuple of them.
+	Value = types.Value
+	Row   = types.Row
+
+	// Catalog, Table, Column, and Index describe schemas.
+	Catalog = catalog.Catalog
+	Table   = catalog.Table
+	Column  = catalog.Column
+	Index   = catalog.Index
+
+	// Database is the loaded storage layer (heaps, B-trees, columnstores).
+	Database = storage.Database
+
+	// PlanBuilder constructs physical plan trees; PlanNode is one operator.
+	PlanBuilder = plan.Builder
+	PlanNode    = plan.Node
+	Plan        = plan.Plan
+
+	// Query is one executing query; Session monitors it; QuerySnapshot is
+	// one poll's display state; Options selects the estimator techniques.
+	Query         = exec.Query
+	Session       = lqs.Session
+	QuerySnapshot = lqs.QuerySnapshot
+	OpStatus      = lqs.OpStatus
+	Options       = progress.Options
+	Estimate      = progress.Estimate
+)
+
+// Value constructors.
+var (
+	Int   = types.Int
+	Float = types.Float
+	Str   = types.Str
+	Null  = types.Null
+)
+
+// Column kinds.
+const (
+	KindInt    = types.KindInt
+	KindFloat  = types.KindFloat
+	KindString = types.KindString
+)
+
+// NewCatalog creates an empty catalog.
+func NewCatalog() *Catalog { return catalog.NewCatalog() }
+
+// NewTable creates a table schema.
+func NewTable(name string, cols ...Column) *Table { return catalog.NewTable(name, cols...) }
+
+// NewDatabase creates an empty database over a catalog with a buffer pool
+// of poolPages pages.
+func NewDatabase(cat *Catalog, poolPages int) *Database {
+	return storage.NewDatabase(cat, poolPages)
+}
+
+// NewPlanBuilder returns a physical plan builder over the catalog.
+func NewPlanBuilder(cat *Catalog) *PlanBuilder { return plan.NewBuilder(cat) }
+
+// DefaultOptions is the shipping Live Query Statistics estimator
+// configuration: every Section 4 technique enabled.
+func DefaultOptions() Options { return progress.LQSOptions() }
+
+// Start finalizes a plan, attaches optimizer estimates, and returns a
+// monitoring session ready to Step/Snapshot/Monitor.
+func Start(db *Database, root *PlanNode, o Options) *Session {
+	return lqs.Start(db, root, o)
+}
+
+// Estimate attaches optimizer cardinality and cost estimates to a
+// finalized plan (Start does this automatically).
+func EstimatePlan(cat *Catalog, p *Plan) { opt.NewEstimator(cat).Estimate(p) }

@@ -1,0 +1,78 @@
+package lqs_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"lqs"
+	"lqs/internal/engine/expr"
+)
+
+// exampleDB builds a small database through the public facade.
+func exampleDB() *lqs.Database {
+	cat := lqs.NewCatalog()
+	orders := lqs.NewTable("orders",
+		lqs.Column{Name: "id", Kind: lqs.KindInt},
+		lqs.Column{Name: "region", Kind: lqs.KindInt},
+		lqs.Column{Name: "total", Kind: lqs.KindFloat},
+	)
+	orders.AddIndex(&lqs.Index{Name: "pk", KeyCols: []int{0}, Clustered: true})
+	cat.Add(orders)
+	db := lqs.NewDatabase(cat, 1<<16)
+	rows := make([]lqs.Row, 20000)
+	for i := range rows {
+		rows[i] = lqs.Row{lqs.Int(int64(i)), lqs.Int(int64(i % 8)), lqs.Float(float64(i % 977))}
+	}
+	db.Load("orders", rows)
+	db.BuildAllStats(32)
+	return db
+}
+
+func TestPublicFacadeEndToEnd(t *testing.T) {
+	db := exampleDB()
+	b := lqs.NewPlanBuilder(db.Catalog)
+	agg := b.HashAgg(b.TableScan("orders", nil, nil), []int{1},
+		[]expr.AggSpec{{Kind: expr.Sum, Arg: expr.C(2, "total")}})
+	session := lqs.Start(db, b.Sort(agg, []int{0}, nil), lqs.DefaultOptions())
+
+	polls := 0
+	var lastProgress float64
+	rows := session.Monitor(500*time.Microsecond, func(q *lqs.QuerySnapshot) {
+		polls++
+		if q.Progress < 0 || q.Progress > 1 {
+			t.Fatalf("progress out of range: %v", q.Progress)
+		}
+		lastProgress = q.Progress
+	})
+	if rows != 8 {
+		t.Fatalf("query returned %d rows", rows)
+	}
+	if polls < 3 {
+		t.Fatalf("only %d polls observed", polls)
+	}
+	if lastProgress < 0.99 {
+		t.Fatalf("final progress %v", lastProgress)
+	}
+	out := session.Render(session.Snapshot())
+	if len(out) == 0 {
+		t.Fatal("empty render")
+	}
+}
+
+// Example demonstrates attaching Live Query Statistics to a running query
+// and reading progress mid-flight.
+func Example() {
+	db := exampleDB()
+	b := lqs.NewPlanBuilder(db.Catalog)
+	scan := b.TableScan("orders", nil, nil)
+	agg := b.HashAgg(scan, []int{1}, []expr.AggSpec{{Kind: expr.CountStar}})
+	session := lqs.Start(db, agg, lqs.DefaultOptions())
+
+	for session.Step(2) {
+	}
+	final := session.Snapshot()
+	fmt.Printf("progress %.0f%%, scan rows %d\n",
+		final.Progress*100, final.Ops[1].RowsSoFar)
+	// Output: progress 100%, scan rows 20000
+}
