@@ -1,0 +1,21 @@
+GO ?= go
+
+.PHONY: all vet build test race ci
+
+all: ci
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The concurrency-sensitive packages: registry-driven concurrent queries,
+# cross-goroutine snapshot capture, and the buffer-pool latch.
+race:
+	$(GO) test -race ./internal/lqs/... ./internal/engine/dmv/...
+
+ci: vet build test race

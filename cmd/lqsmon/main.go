@@ -8,6 +8,7 @@
 //	lqsmon                         # TPC-H Q5 with live display
 //	lqsmon -workload tpcds -q Q21  # a specific query
 //	lqsmon -interval 2ms -plain    # coarser polling, no screen clearing
+//	lqsmon -deadline 50ms          # abort at a virtual-time deadline
 //	lqsmon -list                   # list available queries
 package main
 
@@ -28,6 +29,7 @@ func main() {
 		wname    = flag.String("workload", "tpch", "workload: tpch, tpch-cs, tpcds, real1, real2, real3")
 		qname    = flag.String("q", "Q5", "query name within the workload")
 		interval = flag.Duration("interval", time.Millisecond, "virtual poll interval")
+		deadline = flag.Duration("deadline", 0, "virtual-time deadline; 0 means none")
 		plain    = flag.Bool("plain", false, "append frames instead of redrawing in place")
 		seed     = flag.Uint64("seed", 42, "workload seed")
 		list     = flag.Bool("list", false, "list query names and exit")
@@ -72,9 +74,14 @@ func main() {
 	}
 
 	s := lqs.Start(w.DB, query.Build(w.Builder()), progress.LQSOptions())
+	if *deadline > 0 {
+		s.Query.Ctx.Deadline = *deadline
+	}
 	frames := 0
-	rows := s.Monitor(*interval, func(q *lqs.QuerySnapshot) {
+	var last *lqs.QuerySnapshot
+	rows, err := s.Monitor(*interval, func(q *lqs.QuerySnapshot) {
 		frames++
+		last = q
 		if !*plain {
 			fmt.Print("\033[H\033[2J") // clear screen, home cursor
 		}
@@ -84,6 +91,11 @@ func main() {
 			time.Sleep(40 * time.Millisecond) // pace the animation for humans
 		}
 	})
+	if err != nil {
+		fmt.Printf("\nquery %s after %d rows in %v virtual time (%d frames): %v\n",
+			last.State, rows, s.Query.Ctx.Clock.Now(), frames, err)
+		os.Exit(1)
+	}
 	fmt.Printf("\nquery returned %d rows in %v virtual time (%d frames)\n",
 		rows, s.Query.Ctx.Clock.Now(), frames)
 }

@@ -3,16 +3,17 @@
 // display of progress estimates for multiple, concurrently executing
 // queries, each of them being given their own dedicated window").
 //
-// Each query runs on its own virtual clock (its own session, as separate
-// connections would); the monitor round-robins execution slices between
-// them and prints a dashboard line per tick. The queries are fully
-// pipelined (streaming to the root), so each slice advances them a little
-// and the dashboard shows genuinely interleaved progress.
+// Each query runs on its own virtual clock and its own goroutine under a
+// QueryRegistry (separate connections, as a real server would hold them);
+// the dashboard goroutine polls the registry concurrently — the snapshots
+// it renders are lock-synchronized with the executors — and the slowest
+// query is cancelled mid-flight, exactly as a DBA would kill a session.
 package main
 
 import (
 	"fmt"
 	"strings"
+	"time"
 
 	"lqs/internal/engine/expr"
 	"lqs/internal/lqs"
@@ -24,31 +25,27 @@ import (
 func main() {
 	w := workload.TPCH(42, workload.TPCHRowstore)
 
-	mk := func(name string, build func(b *plan.Builder) *plan.Node) (string, *lqs.Session) {
-		return name, lqs.Start(w.DB, build(w.Builder()), progress.LQSOptions())
+	mk := func(build func(b *plan.Builder) *plan.Node) *lqs.Session {
+		return lqs.Start(w.DB, build(w.Builder()), progress.LQSOptions())
 	}
 
-	type job struct {
-		name string
-		s    *lqs.Session
-	}
-	var jobs []job
-	n1, s1 := mk("filter-scan", func(b *plan.Builder) *plan.Node {
+	reg := lqs.NewQueryRegistry()
+	id1 := reg.Launch("filter-scan", mk(func(b *plan.Builder) *plan.Node {
 		return b.Filter(b.TableScan("lineitem", nil, nil),
 			expr.Lt(expr.C(6, "l_shipdate"), expr.KInt(1200)))
-	})
-	n2, s2 := mk("index-nl-join", func(b *plan.Builder) *plan.Node {
+	}))
+	id2 := reg.Launch("index-nl-join", mk(func(b *plan.Builder) *plan.Node {
 		inner := b.SeekEq("orders", "pk", []expr.Expr{expr.C(0, "l_orderkey")}, nil)
 		return b.NestedLoopsNode(plan.LogicalInnerJoin,
 			b.TableScan("lineitem", nil, nil), inner, nil)
-	})
-	n3, s3 := mk("merge-join", func(b *plan.Builder) *plan.Node {
+	}))
+	id3 := reg.Launch("merge-join", mk(func(b *plan.Builder) *plan.Node {
 		return b.MergeJoinNode(plan.LogicalInnerJoin,
 			b.IndexScan("lineitem", "ix_orderkey", nil, nil),
 			b.ClusteredIndexScan("orders", "pk", nil, nil),
 			[]int{0}, []int{0}, nil)
-	})
-	jobs = append(jobs, job{n1, s1}, job{n2, s2}, job{n3, s3})
+	}))
+	ids := []lqs.QueryID{id1, id2, id3}
 
 	bar := func(f float64) string {
 		n := int(f * 20)
@@ -58,33 +55,45 @@ func main() {
 		return "[" + strings.Repeat("=", n) + strings.Repeat(" ", 20-n) + "]"
 	}
 
-	tick := 0
-	for {
+	killed := false
+	for tick := 1; ; tick++ {
+		infos := reg.List()
 		anyRunning := false
-		for _, j := range jobs {
-			if !j.s.Done() {
-				j.s.Step(2500)
+		fmt.Printf("tick %-3d ", tick)
+		for _, qi := range infos {
+			if !qi.State.Terminal() {
 				anyRunning = true
 			}
-		}
-		tick++
-		fmt.Printf("tick %-3d ", tick)
-		for _, j := range jobs {
-			snap := j.s.Snapshot()
-			state := fmt.Sprintf("%5.1f%%", snap.Progress*100)
-			if j.s.Done() {
-				state = " done "
+			state := fmt.Sprintf("%5.1f%%", qi.Progress*100)
+			if qi.State.Terminal() {
+				state = strings.ToLower(qi.State.String())
 			}
-			fmt.Printf(" %-14s %s %s", j.name, bar(snap.Progress), state)
+			fmt.Printf(" %-14s %s %-9s", qi.Name, bar(qi.Progress), state)
 		}
 		fmt.Println()
+		// The DBA move: the nested-loops join is the slow one — kill it
+		// once the other two are done and it is still under 50%.
+		if !killed && infos[0].State.Terminal() && infos[2].State.Terminal() &&
+			!infos[1].State.Terminal() && infos[1].Progress < 0.5 {
+			killed = true
+			fmt.Println("         ... index-nl-join is lagging far behind; cancelling it")
+			_ = reg.Cancel(id2, "DBA kill: slowest of the batch")
+		}
 		if !anyRunning {
 			break
 		}
+		time.Sleep(2 * time.Millisecond) // real-time pacing between polls
 	}
-	fmt.Println("\nall queries complete:")
-	for _, j := range jobs {
-		fmt.Printf("  %-14s %7d rows in %v virtual time\n",
-			j.name, j.s.Query.RowsReturned(), j.s.Query.Ctx.Clock.Now())
+
+	fmt.Println("\nall queries terminal:")
+	for _, id := range ids {
+		qi, _ := reg.Poll(id)
+		rows, err := reg.Wait(id)
+		if err != nil {
+			fmt.Printf("  %-14s %-9s after %v virtual time: %v\n",
+				qi.Name, qi.State, qi.VirtualTime, err)
+			continue
+		}
+		fmt.Printf("  %-14s %7d rows in %v virtual time\n", qi.Name, rows, qi.VirtualTime)
 	}
 }

@@ -43,11 +43,15 @@ func main() {
 	// 4. Run it with Live Query Statistics attached: the callback fires at
 	// every virtual poll interval with fresh progress estimates.
 	session := lqs.Start(db, root, lqs.DefaultOptions())
-	n := session.Monitor(2*time.Millisecond, func(q *lqs.QuerySnapshot) {
+	n, err := session.Monitor(2*time.Millisecond, func(q *lqs.QuerySnapshot) {
 		fmt.Printf("t=%-10v overall %5.1f%%   scan %5.1f%%  agg %5.1f%%  sort %5.1f%%\n",
 			q.At, q.Progress*100,
 			q.Ops[3].Progress*100, q.Ops[1].Progress*100, q.Ops[0].Progress*100)
 	})
+	if err != nil {
+		fmt.Printf("query %s: %v\n", session.State(), err)
+		return
+	}
 
 	fmt.Printf("\nfinal plan state:\n%s", session.Render(session.Snapshot()))
 	fmt.Printf("query returned %d rows\n", n)

@@ -4,7 +4,9 @@
 // optimizer's estimate — the smoking gun of a cardinality estimation
 // problem — and (b) operator progress park at 99% while the operator
 // keeps running (the paper's Fig. 4 behaviour). Both signals fire long
-// before the query ends.
+// before the query ends — so the DBA acts on them: once the alert fires,
+// the runaway query is cancelled instead of being left to burn resources,
+// and Monitor returns the terminal CANCELLED error.
 package main
 
 import (
@@ -49,7 +51,7 @@ func main() {
 
 	fmt.Printf("optimizer expects %.0f outer rows from the customer scan\n\n", cust.EstRows)
 	alerted := false
-	session.Monitor(2*time.Millisecond, func(snap *lqs.QuerySnapshot) {
+	_, err := session.Monitor(2*time.Millisecond, func(snap *lqs.QuerySnapshot) {
 		sc := snap.Ops[cust.ID]
 		fmt.Printf("t=%-9v query %5.1f%% | outer scan: %5.1f%% rows=%-5d (est %.0f, refined %.0f)\n",
 			snap.At, snap.Progress*100, sc.Progress*100, sc.RowsSoFar, sc.EstRows, sc.RefinedN)
@@ -60,12 +62,15 @@ func main() {
 			fmt.Printf("\n  *** ALERT: outer scan has produced %d rows, already %.0fx the\n"+
 				"      optimizer estimate of %.0f — cardinality estimation problem.\n"+
 				"      Consider updating statistics or adding a plan hint (paper §1).\n"+
-				"      LQS's refined estimate is now %.0f rows.\n\n",
+				"      LQS's refined estimate is now %.0f rows.\n"+
+				"      Killing the runaway query.\n\n",
 				sc.RowsSoFar, float64(sc.RowsSoFar)/sc.EstRows, sc.EstRows, sc.RefinedN)
+			session.Cancel("runaway cardinality misestimate (DBA kill)")
 		}
 	})
 	final := session.Snapshot()
-	fmt.Printf("\nfinal: outer scan produced %d rows vs estimate %.0f\n",
+	fmt.Printf("\nfinal state %s after %v virtual time: %v\n", final.State, final.At, err)
+	fmt.Printf("outer scan produced %d rows vs estimate %.0f before the kill\n",
 		final.Ops[cust.ID].RowsSoFar, cust.EstRows)
 	if !alerted {
 		fmt.Println("(no alert fired — unexpected for this scenario)")

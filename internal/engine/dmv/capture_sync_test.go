@@ -1,0 +1,70 @@
+package dmv
+
+import (
+	"testing"
+
+	"lqs/internal/sim"
+)
+
+// TestCaptureSyncWhileRunning polls a query's counters from a second
+// goroutine while the executor runs it to completion. Run with -race: the
+// capture path must acquire the query's counter lock, the executor yields
+// it at charge checkpoints, and the lifecycle fields it touches are
+// atomics. Row counts observed across successive synchronized snapshots
+// must be consistent (never decreasing, never beyond the final total).
+func TestCaptureSyncWhileRunning(t *testing.T) {
+	clock := sim.NewClock()
+	q, scan := testQuery(t, clock)
+	done := make(chan error, 1)
+	go func() {
+		_, err := q.Run()
+		done <- err
+	}()
+
+	var lastRows int64
+	polls := 0
+	for {
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatalf("query failed: %v", err)
+			}
+			final := CaptureSync(q)
+			fp := final.Op(scan.ID)
+			if fp.ActualRows != 5000 || !fp.Closed {
+				t.Fatalf("final scan profile: %+v", fp)
+			}
+			if polls == 0 {
+				t.Log("query finished before any concurrent poll landed")
+			}
+			return
+		default:
+			snap := CaptureSync(q)
+			rows := snap.Op(scan.ID).ActualRows
+			if rows < lastRows {
+				t.Fatalf("rows went backwards across polls: %d -> %d", lastRows, rows)
+			}
+			if rows > 5000 {
+				t.Fatalf("snapshot overshot the table: %d rows", rows)
+			}
+			lastRows = rows
+			polls++
+		}
+	}
+}
+
+// Out-of-range node IDs — a stale snapshot from a different plan shape —
+// must degrade to an empty profile, not a panic.
+func TestSnapshotOpBoundsGuard(t *testing.T) {
+	s := &Snapshot{}
+	if p := s.Op(0); p == nil || p.ActualRows != 0 {
+		t.Fatalf("empty snapshot Op(0) = %+v", p)
+	}
+	if p := s.Op(-1); p.NodeID != -1 {
+		t.Fatalf("Op(-1) = %+v", p)
+	}
+	s = &Snapshot{Ops: make([]OpProfile, 2)}
+	if p := s.Op(7); p.Opened || p.ActualRows != 0 {
+		t.Fatalf("out-of-range Op(7) = %+v", p)
+	}
+}

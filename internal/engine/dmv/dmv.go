@@ -45,6 +45,9 @@ type OpProfile struct {
 	LogicalReads  int64
 	PhysicalReads int64
 	PagesTotal    int64
+	// IORetries counts transient page-read faults the storage layer retried
+	// while serving this operator (fault-injection harness).
+	IORetries int64
 
 	SegmentsProcessed int64
 	SegmentsTotal     int64
@@ -63,8 +66,16 @@ type Snapshot struct {
 	Ops []OpProfile // indexed by NodeID (plan IDs are dense preorder)
 }
 
-// Op returns the profile for a node ID.
-func (s *Snapshot) Op(id int) *OpProfile { return &s.Ops[id] }
+// Op returns the profile for a node ID. Out-of-range IDs — possible when a
+// client holds a stale or partial snapshot from a different plan shape —
+// return an empty profile rather than panicking, so display code degrades
+// to "no data" instead of crashing the monitor.
+func (s *Snapshot) Op(id int) *OpProfile {
+	if id < 0 || id >= len(s.Ops) {
+		return &OpProfile{NodeID: id}
+	}
+	return &s.Ops[id]
+}
 
 // Capture snapshots a query's counters right now.
 func Capture(q *exec.Query) *Snapshot {
@@ -89,6 +100,7 @@ func Capture(q *exec.Query) *Snapshot {
 			LogicalReads:      c.LogicalReads,
 			PhysicalReads:     c.PhysicalReads,
 			PagesTotal:        c.PagesTotal,
+			IORetries:         c.IORetries,
 			SegmentsProcessed: c.SegmentsProcessed,
 			SegmentsTotal:     c.SegmentsTotal,
 			InternalDone:      c.InternalDone,
@@ -96,6 +108,18 @@ func Capture(q *exec.Query) *Snapshot {
 		}
 	}
 	return snap
+}
+
+// CaptureSync snapshots a query's counters from a goroutine other than the
+// one executing the query. It acquires the query's counter lock, so the
+// snapshot observes a quiescent batch boundary rather than a torn update.
+// Observers running on the executor goroutine itself (clock observers fired
+// inside Advance) must use Capture instead: the executor already holds the
+// lock there, and re-acquiring it would self-deadlock.
+func CaptureSync(q *exec.Query) *Snapshot {
+	q.LockCounters()
+	defer q.UnlockCounters()
+	return Capture(q)
 }
 
 // Trace is the recorded history of one query's execution: the plan, every

@@ -174,6 +174,9 @@ func (h *hashAgg) Open(ctx *Ctx) {
 			}
 		}
 		if grp == nil {
+			// Workspace grows with distinct groups; hash aggregates do not
+			// spill in this engine, so an exceeded grant aborts.
+			ctx.reserveMem(&h.c, 1, false)
 			grp = &aggGroup{key: projectCols(row, gcols)}
 			grp.states = make([]expr.AggState, len(h.node.Aggs))
 			for i, a := range h.node.Aggs {
@@ -224,5 +227,6 @@ func (h *hashAgg) Close(ctx *Ctx) {
 		return
 	}
 	h.child.Close(ctx)
+	ctx.releaseMem(&h.c)
 	h.closed(ctx)
 }

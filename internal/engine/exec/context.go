@@ -6,6 +6,10 @@
 package exec
 
 import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
 	"lqs/internal/engine/storage"
 	"lqs/internal/engine/types"
 	"lqs/internal/opt"
@@ -59,6 +63,15 @@ type Counters struct {
 	SegmentsProcessed int64
 	SegmentsTotal     int64
 
+	// IORetries counts transient page-read faults this operator absorbed:
+	// each one is a re-issued physical read plus a backoff charged to the
+	// virtual clock by the fault-injection harness.
+	IORetries int64
+
+	// MemRows is the operator's current simulated workspace reservation in
+	// rows, charged against the query's memory grant.
+	MemRows int64
+
 	// InternalDone/InternalTotal expose a blocking operator's internal
 	// (neither-input-nor-output) work — e.g. a spilled sort's external
 	// merge rows. The real DMV does not expose these; the paper's §7
@@ -75,12 +88,25 @@ type Counters struct {
 }
 
 // Ctx is the per-query execution context: the virtual clock, buffer pool,
-// cost model, runtime bitmap registry, and the bind row for correlated
-// inner subtrees.
+// cost model, runtime bitmap registry, the bind row for correlated inner
+// subtrees, and the query's lifecycle controls (cancellation, deadline,
+// memory grant).
 type Ctx struct {
 	Clock *sim.Clock
 	DB    *storage.Database
 	CM    *opt.CostModel
+
+	// Deadline is a virtual-time deadline: execution aborts with a
+	// KindDeadline QueryError once the clock reaches it. Zero disables.
+	// Set it before the query starts stepping.
+	Deadline sim.Duration
+
+	// MemGrantRows is the simulated memory grant, in buffered rows, shared
+	// by the query's blocking operators. Non-spillable operators (hash
+	// build, hash aggregate, top-N) abort with KindMemory when the grant is
+	// exceeded; spillable ones (sort, spool) degrade to simulated disk.
+	// Zero means unlimited. Set it before the query starts stepping.
+	MemGrantRows int64
 
 	// Bind is the current outer row for correlated operators on the inner
 	// side of a nested-loops join; seeks evaluate their bounds against it
@@ -89,6 +115,102 @@ type Ctx struct {
 
 	// Bitmaps holds runtime bitmap filters keyed by BitmapCreate node ID.
 	Bitmaps map[int]*bitmapFilter
+
+	// mu serializes counter and clock mutation against concurrent DMV
+	// captures. The executing goroutine holds it for the duration of each
+	// Step batch, yielding briefly every yieldEvery charges so pollers on
+	// other goroutines (dmv.CaptureSync, the lqs registry) can take a
+	// consistent snapshot even while a blocking operator works.
+	mu sync.Mutex
+
+	// cancel carries a pending cancellation request, set from any
+	// goroutine and observed at the next charge checkpoint.
+	cancel atomic.Pointer[QueryError]
+
+	// cur is the last operator that charged work: the node blamed when an
+	// untyped panic or an interrupt surfaces.
+	cur *Counters
+
+	memUsed   int64
+	chargeOps int
+}
+
+// yieldEvery is how many charge checkpoints pass between mutex yields: small
+// enough that concurrent pollers wait microseconds, large enough that the
+// lock traffic is invisible in benchmarks.
+const yieldEvery = 256
+
+// CancelCause requests cancellation: the executing goroutine observes it at
+// the next charge checkpoint and aborts with a KindCancelled QueryError. It
+// is safe to call from any goroutine, any number of times (the first wins),
+// and is a no-op after the query reaches a terminal state.
+func (ctx *Ctx) CancelCause(reason string) {
+	ctx.cancel.CompareAndSwap(nil, &QueryError{Kind: KindCancelled, NodeID: -1, Reason: reason})
+}
+
+// interrupted returns the pending interrupt, if any: an explicit
+// cancellation or an expired virtual-time deadline.
+func (ctx *Ctx) interrupted() *QueryError {
+	if qe := ctx.cancel.Load(); qe != nil {
+		return qe
+	}
+	if ctx.Deadline > 0 && ctx.Clock.Now() >= ctx.Deadline {
+		return &QueryError{
+			Kind:   KindDeadline,
+			NodeID: -1,
+			Reason: fmt.Sprintf("virtual-time deadline %v expired", ctx.Deadline),
+		}
+	}
+	return nil
+}
+
+// checkpoint is the per-charge interrupt and yield point: it records the
+// operator currently doing work, periodically yields the counter mutex so
+// concurrent snapshots can drain, and aborts execution (by typed panic,
+// converted to a QueryError at the Step recovery boundary) when a
+// cancellation or deadline is pending. Every charge funnels through it, so
+// cancellation latency is bounded by one row's work — even inside blocking
+// Sort/Hash phases that produce no output for a long time.
+func (ctx *Ctx) checkpoint(c *Counters) {
+	if c != nil {
+		ctx.cur = c
+	}
+	ctx.chargeOps++
+	if ctx.chargeOps >= yieldEvery {
+		ctx.chargeOps = 0
+		ctx.mu.Unlock()
+		ctx.mu.Lock()
+	}
+	if qe := ctx.interrupted(); qe != nil {
+		panic(qe)
+	}
+}
+
+// reserveMem charges rows of simulated workspace memory to a blocking
+// operator. Within the grant (or with no grant configured) it returns true.
+// Over the grant, spillable operators get false — they degrade to simulated
+// disk and keep running — while non-spillable operators abort with a
+// KindMemory QueryError attributed to the operator.
+func (ctx *Ctx) reserveMem(c *Counters, rows int64, spillable bool) bool {
+	ctx.memUsed += rows
+	c.MemRows += rows
+	if ctx.MemGrantRows <= 0 || ctx.memUsed <= ctx.MemGrantRows {
+		return true
+	}
+	if spillable {
+		return false
+	}
+	panic(&QueryError{
+		Kind:   KindMemory,
+		NodeID: c.NodeID,
+		Reason: fmt.Sprintf("workspace of %d rows exceeds memory grant of %d rows", ctx.memUsed, ctx.MemGrantRows),
+	})
+}
+
+// releaseMem returns an operator's workspace reservation to the grant.
+func (ctx *Ctx) releaseMem(c *Counters) {
+	ctx.memUsed -= c.MemRows
+	c.MemRows = 0
 }
 
 // batchFactor is how much cheaper per-row CPU is for batch-mode operators
@@ -109,9 +231,12 @@ func (ctx *Ctx) chargeCPU(c *Counters, ns float64) {
 	ctx.Clock.Advance(d)
 	c.CPUTime += d
 	c.LastActive = ctx.Clock.Now()
+	ctx.checkpoint(c)
 }
 
-// chargeIO charges page I/O at logical/physical page costs.
+// chargeIO charges page I/O at logical/physical page costs, plus
+// retry backoff for transient faults the storage layer absorbed. A
+// permanent fault aborts the query with a KindIO error blamed on c.
 func (ctx *Ctx) chargeIO(c *Counters, io storage.IOCounts) {
 	if io.Logical == 0 && io.Physical == 0 {
 		return
@@ -121,26 +246,47 @@ func (ctx *Ctx) chargeIO(c *Counters, io storage.IOCounts) {
 		c.FirstActiveAt = ctx.Clock.Now()
 	}
 	ns := float64(io.Logical)*ctx.CM.IOLogicalPage + float64(io.Physical)*ctx.CM.IOPhysicalPage
+	ns += float64(io.Retries) * ctx.CM.IORetryBackoff
 	ctx.Clock.Advance(sim.Duration(ns))
 	c.IOTime += sim.Duration(ns)
 	c.LogicalReads += io.Logical
 	c.PhysicalReads += io.Physical
+	c.IORetries += io.Retries
 	c.LastActive = ctx.Clock.Now()
+	ctx.failOnIOFault(c, io)
+	ctx.checkpoint(c)
 }
 
-// chargeSegments charges columnstore segment reads.
+// chargeSegments charges columnstore segment reads (and any faults the
+// segment page reads hit, exactly as chargeIO does).
 func (ctx *Ctx) chargeSegments(c *Counters, n int64, io storage.IOCounts) {
 	if !c.FirstActive {
 		c.FirstActive = true
 		c.FirstActiveAt = ctx.Clock.Now()
 	}
-	segNS := sim.Duration(float64(n) * ctx.CM.IOSegment)
+	segNS := sim.Duration(float64(n)*ctx.CM.IOSegment + float64(io.Retries)*ctx.CM.IORetryBackoff)
 	ctx.Clock.Advance(segNS)
 	c.IOTime += segNS
 	c.SegmentsProcessed += n
 	c.LogicalReads += io.Logical
 	c.PhysicalReads += io.Physical
+	c.IORetries += io.Retries
 	c.LastActive = ctx.Clock.Now()
+	ctx.failOnIOFault(c, io)
+	ctx.checkpoint(c)
+}
+
+// failOnIOFault aborts the query when the drained I/O counts include a
+// permanent (retry-exhausted or hard) page-read failure.
+func (ctx *Ctx) failOnIOFault(c *Counters, io storage.IOCounts) {
+	if io.Faults == 0 {
+		return
+	}
+	panic(&QueryError{
+		Kind:   KindIO,
+		NodeID: c.NodeID,
+		Reason: fmt.Sprintf("%d permanent page-read failure(s) after %d retries", io.Faults, io.Retries),
+	})
 }
 
 // bitmapFilter is the runtime bitmap a BitmapCreate node populates and a

@@ -59,7 +59,10 @@ func runPlan(tb testing.TB, db *storage.Database, root *plan.Node) (*Query, []ty
 	p := plan.Finalize(root)
 	opt.NewEstimator(db.Catalog).Estimate(p)
 	q := NewQuery(p, db, opt.DefaultCostModel(), sim.NewClock())
-	rows := q.RunCollect()
+	rows, err := q.RunCollect()
+	if err != nil {
+		tb.Fatalf("query failed: %v", err)
+	}
 	return q, rows
 }
 

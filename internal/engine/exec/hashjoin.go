@@ -54,6 +54,9 @@ func (h *hashJoin) Open(ctx *Ctx) {
 		}
 		h.c.InputRows++
 		ctx.chargeCPU(&h.c, insert)
+		// The build table is resident for the join's whole lifetime; hash
+		// joins do not spill in this engine, so an exceeded grant aborts.
+		ctx.reserveMem(&h.c, 1, false)
 		e := &buildEntry{row: row}
 		hv := row.HashCols(h.node.JoinRightCols)
 		h.table[hv] = append(h.table[hv], e)
@@ -179,5 +182,6 @@ func (h *hashJoin) Close(ctx *Ctx) {
 		return
 	}
 	h.probe.Close(ctx)
+	ctx.releaseMem(&h.c)
 	h.closed(ctx)
 }

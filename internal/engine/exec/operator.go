@@ -8,8 +8,11 @@ import (
 )
 
 // Operator is the demand-driven iterator interface (Open/GetNext/Close of
-// [11], §3.1.2). The simulated engine cannot fail at runtime, so there are
-// no error returns; structural bugs panic.
+// [11], §3.1.2). Operators carry no error returns: runtime failures —
+// cancellation, deadline expiry, an exceeded memory grant, injected I/O
+// faults, and plain engine bugs — surface as panics that the Query.Step
+// recovery boundary converts into a typed *QueryError identifying the
+// failing node. No panic escapes Step/Run/RunCollect.
 type Operator interface {
 	// Open prepares the operator (and its children). Blocking operators
 	// consume their input here.

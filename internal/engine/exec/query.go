@@ -1,6 +1,9 @@
 package exec
 
 import (
+	"fmt"
+	"sync/atomic"
+
 	"lqs/internal/engine/storage"
 	"lqs/internal/engine/types"
 	"lqs/internal/opt"
@@ -9,18 +12,21 @@ import (
 )
 
 // Query is one executing query: a plan, its operator tree, and the
-// execution context. The DMV layer snapshots its counters while it runs.
+// execution context. The DMV layer snapshots its counters while it runs;
+// lifecycle state (rows, state, terminal error) is maintained with atomics
+// so monitors on other goroutines can poll it without synchronizing with
+// the executor.
 type Query struct {
 	Plan *plan.Plan
 	Root Operator
 	Ctx  *Ctx
 
 	ops     map[int]Operator // by node ID
-	opened  bool
-	done    bool
-	rows    int64
-	started sim.Duration
-	ended   sim.Duration
+	state   atomic.Int32     // QueryState
+	failure atomic.Pointer[QueryError]
+	rows    atomic.Int64
+	started atomic.Int64 // sim.Duration
+	ended   atomic.Int64 // sim.Duration
 }
 
 // NewQuery builds the operator tree for a finalized, estimated plan over
@@ -89,73 +95,195 @@ func (q *Query) Counters() map[int]*Counters {
 	return out
 }
 
+// State returns the query's lifecycle state; safe from any goroutine.
+func (q *Query) State() QueryState { return QueryState(q.state.Load()) }
+
+// Err returns the terminal QueryError, or nil while the query is healthy.
+// Safe from any goroutine.
+func (q *Query) Err() error {
+	if qe := q.failure.Load(); qe != nil {
+		return qe
+	}
+	return nil
+}
+
+// Failure returns the typed terminal error, or nil.
+func (q *Query) Failure() *QueryError { return q.failure.Load() }
+
+// Cancel requests cancellation with a reason (the DBA's KILL). The
+// executing goroutine observes it at its next charge checkpoint — bounded
+// by one row's work, even inside a blocking Sort or Hash build — and
+// terminates with a KindCancelled QueryError. Safe from any goroutine; a
+// no-op once the query is terminal.
+func (q *Query) Cancel(reason string) {
+	if q.State().Terminal() {
+		return
+	}
+	q.Ctx.CancelCause(reason)
+}
+
 // Started reports whether execution has begun and when.
-func (q *Query) Started() (sim.Duration, bool) { return q.started, q.opened }
+func (q *Query) Started() (sim.Duration, bool) {
+	return sim.Duration(q.started.Load()), q.State() != StatePending
+}
 
-// Ended reports whether execution has finished and when.
-func (q *Query) Ended() (sim.Duration, bool) { return q.ended, q.done }
+// Ended reports whether execution has finished (successfully or not) and
+// when.
+func (q *Query) Ended() (sim.Duration, bool) {
+	return sim.Duration(q.ended.Load()), q.State().Terminal()
+}
 
-// Done reports whether the query has finished.
-func (q *Query) Done() bool { return q.done }
+// Done reports whether the query has reached a terminal state.
+func (q *Query) Done() bool { return q.State().Terminal() }
 
 // RowsReturned is the number of rows the root has produced.
-func (q *Query) RowsReturned() int64 { return q.rows }
+func (q *Query) RowsReturned() int64 { return q.rows.Load() }
 
-// Step advances execution by up to n result rows, returning false when the
-// query completes. It opens the plan on first call.
-func (q *Query) Step(n int) bool {
-	if q.done {
-		return false
+// LockCounters acquires the query's counter mutex so another goroutine can
+// read a consistent snapshot of operator counters and the clock while the
+// query executes. The executor yields the mutex at every charge
+// checkpoint, so acquisition latency is bounded by a handful of rows'
+// work. Do not call from the executing goroutine (the clock-observer /
+// poller path already sees quiescent counters without locking).
+func (q *Query) LockCounters() { q.Ctx.mu.Lock() }
+
+// UnlockCounters releases the counter mutex taken by LockCounters.
+func (q *Query) UnlockCounters() { q.Ctx.mu.Unlock() }
+
+// fail records the terminal error and state; first failure wins.
+func (q *Query) fail(qe *QueryError) {
+	if !q.failure.CompareAndSwap(nil, qe) {
+		return
 	}
-	if !q.opened {
-		q.opened = true
-		q.started = q.Ctx.Clock.Now()
-		q.Root.Open(q.Ctx)
+	q.state.Store(int32(qe.State()))
+	q.ended.Store(int64(q.Ctx.Clock.Now()))
+}
+
+// recoverStep is the panic-to-error boundary: any panic escaping operator
+// code — typed lifecycle aborts (cancellation, deadline, memory, I/O
+// fault) as well as untyped engine bugs — is converted into a QueryError
+// identifying the failing plan node, and the query transitions to its
+// terminal state. No panic escapes Step/Run/RunCollect.
+func (q *Query) recoverStep(err *error) {
+	r := recover()
+	if r == nil {
+		return
 	}
+	qe, ok := r.(*QueryError)
+	if !ok {
+		qe = &QueryError{Kind: KindInternal, NodeID: -1, Reason: fmt.Sprintf("panic: %v", r)}
+	}
+	if qe.NodeID < 0 && q.Ctx.cur != nil {
+		qe.NodeID = q.Ctx.cur.NodeID
+	}
+	qe.At = q.Ctx.Clock.Now()
+	q.fail(qe)
+	*err = qe
+}
+
+// open transitions Pending → Running and opens the plan. Caller holds the
+// counter mutex.
+func (q *Query) open() {
+	if q.State() != StatePending {
+		return
+	}
+	q.state.Store(int32(StateRunning))
+	q.started.Store(int64(q.Ctx.Clock.Now()))
+	q.Root.Open(q.Ctx)
+}
+
+// finish transitions Running → Succeeded. Caller holds the counter mutex.
+func (q *Query) finish() {
+	q.Root.Close(q.Ctx)
+	q.state.Store(int32(StateSucceeded))
+	q.ended.Store(int64(q.Ctx.Clock.Now()))
+}
+
+// Step advances execution by up to n result rows. It returns (true, nil)
+// while the query can still make progress, (false, nil) on successful
+// completion, and (false, err) when execution terminated with a
+// QueryError. It opens the plan on first call. A non-positive n is a no-op
+// progress report: it performs no work (and does not open the plan), it
+// only reports whether the query is still runnable — callers looping on
+// Step(0) no longer spin forever on a query that can never finish.
+func (q *Query) Step(n int) (more bool, err error) {
+	if qe := q.failure.Load(); qe != nil {
+		return false, qe
+	}
+	if q.State() == StateSucceeded {
+		return false, nil
+	}
+	if n <= 0 {
+		return true, nil
+	}
+	q.Ctx.mu.Lock()
+	defer q.Ctx.mu.Unlock()
+	defer q.recoverStep(&err)
+	// Re-check under the lock: a concurrent Step may have finished or
+	// failed the query while we waited.
+	if qe := q.failure.Load(); qe != nil {
+		return false, qe
+	}
+	if q.State() == StateSucceeded {
+		return false, nil
+	}
+	if qe := q.Ctx.interrupted(); qe != nil {
+		panic(qe)
+	}
+	q.open()
 	for i := 0; i < n; i++ {
 		_, ok := q.Root.Next(q.Ctx)
 		if !ok {
-			q.Root.Close(q.Ctx)
-			q.done = true
-			q.ended = q.Ctx.Clock.Now()
-			return false
+			q.finish()
+			return false, nil
 		}
-		q.rows++
+		q.rows.Add(1)
 	}
-	return true
+	return true, nil
 }
 
-// Run executes the query to completion and returns the result row count.
-func (q *Query) Run() int64 {
-	for q.Step(1 << 12) {
+// Run executes the query to completion and returns the result row count
+// together with the terminal error, if any.
+func (q *Query) Run() (int64, error) {
+	for {
+		more, err := q.Step(1 << 12)
+		if err != nil {
+			return q.rows.Load(), err
+		}
+		if !more {
+			return q.rows.Load(), nil
+		}
 	}
-	return q.rows
 }
 
 // RunCollect executes to completion collecting result rows (tests and
-// examples; result sets in experiments are discarded by Run instead).
-func (q *Query) RunCollect() []types.Row {
-	if q.done {
-		return nil
+// examples; result sets in experiments are discarded by Run instead). On
+// abnormal termination the rows produced so far are returned alongside the
+// error.
+func (q *Query) RunCollect() (rows []types.Row, err error) {
+	if qe := q.failure.Load(); qe != nil {
+		return nil, qe
 	}
-	if !q.opened {
-		q.opened = true
-		q.started = q.Ctx.Clock.Now()
-		q.Root.Open(q.Ctx)
+	if q.State() == StateSucceeded {
+		return nil, nil
 	}
-	var out []types.Row
+	q.Ctx.mu.Lock()
+	defer q.Ctx.mu.Unlock()
+	defer q.recoverStep(&err)
+	if qe := q.Ctx.interrupted(); qe != nil {
+		panic(qe)
+	}
+	q.open()
 	for {
 		row, ok := q.Root.Next(q.Ctx)
 		if !ok {
 			break
 		}
-		out = append(out, row)
-		q.rows++
+		rows = append(rows, row)
+		q.rows.Add(1)
 	}
-	q.Root.Close(q.Ctx)
-	q.done = true
-	q.ended = q.Ctx.Clock.Now()
-	return out
+	q.finish()
+	return rows, nil
 }
 
 // TrueCardinalities returns each operator's final row count (N_i^true),

@@ -20,6 +20,9 @@ type sortOp struct {
 	rows     []types.Row
 	pos      int
 	distinct bool
+	// overBudget: the input outgrew the query's memory grant; the sort
+	// degrades to an external (spilled) sort rather than aborting.
+	overBudget bool
 }
 
 func newSort(n *plan.Node, child Operator) *sortOp {
@@ -47,6 +50,9 @@ func (s *sortOp) fill(ctx *Ctx) {
 		// log factor grows with the rows seen so far.
 		ctx.chargeCPU(&s.c, ctx.CM.CPUTuple+ctx.CM.SortRowCPU(float64(len(s.rows)+2)))
 		s.c.InputRows++
+		if !ctx.reserveMem(&s.c, 1, true) {
+			s.overBudget = true
+		}
 		s.rows = append(s.rows, row)
 	}
 	// The input subtree is fully drained: shut it down, as real engines
@@ -71,6 +77,11 @@ func (s *sortOp) fill(ctx *Ctx) {
 // models may be needed".
 func (s *sortOp) spillMerge(ctx *Ctx) {
 	passes := ctx.CM.SortMergePasses(float64(len(s.rows)))
+	if passes == 0 && s.overBudget {
+		// The memory grant forced a spill the cost model alone would not
+		// have predicted: at least one external pass.
+		passes = 1
+	}
 	if passes == 0 {
 		return
 	}
@@ -115,6 +126,7 @@ func (s *sortOp) Close(ctx *Ctx) {
 		return
 	}
 	s.child.Close(ctx)
+	ctx.releaseMem(&s.c)
 	s.closed(ctx)
 }
 
@@ -167,6 +179,9 @@ func (t *topNSort) Open(ctx *Ctx) {
 		t.c.InputRows++
 		ctx.chargeCPU(&t.c, ctx.CM.CPUTuple+ctx.CM.CPUSortCompare*4)
 		if t.h.Len() < n {
+			// The heap is the operator's whole workspace (bounded by N);
+			// a top-N that cannot hold N rows aborts.
+			ctx.reserveMem(&t.c, 1, false)
 			heap.Push(&t.h, row)
 			continue
 		}
@@ -206,5 +221,6 @@ func (t *topNSort) Close(ctx *Ctx) {
 		return
 	}
 	t.child.Close(ctx)
+	ctx.releaseMem(&t.c)
 	t.closed(ctx)
 }

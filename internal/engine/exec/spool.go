@@ -17,6 +17,22 @@ type spool struct {
 	cache     []types.Row
 	pos       int
 	childDone bool
+	// overBudget: the cache outgrew the memory grant; further appends are
+	// written through to simulated disk (spools are disk-backed worktables
+	// in the real engine, so they degrade rather than abort).
+	overBudget bool
+}
+
+// cacheRow appends a row to the spool's worktable, charging spill I/O once
+// the cache exceeds the memory grant.
+func (s *spool) cacheRow(ctx *Ctx, row types.Row) {
+	if !s.overBudget && !ctx.reserveMem(&s.c, 1, true) {
+		s.overBudget = true
+	}
+	if s.overBudget {
+		ctx.chargeCPU(&s.c, ctx.CM.SpillIOPerRow)
+	}
+	s.cache = append(s.cache, row)
 }
 
 func newSpool(n *plan.Node, child Operator) *spool {
@@ -36,7 +52,7 @@ func (s *spool) Open(ctx *Ctx) {
 			}
 			s.c.InputRows++
 			ctx.chargeCPU(&s.c, ctx.CM.CPUSpoolRow)
-			s.cache = append(s.cache, row)
+			s.cacheRow(ctx, row)
 		}
 		s.childDone = true
 		s.child.Close(ctx) // eager spool drained its input: shut it down
@@ -66,7 +82,7 @@ func (s *spool) Next(ctx *Ctx) (types.Row, bool) {
 	}
 	s.c.InputRows++
 	ctx.chargeCPU(&s.c, ctx.CM.CPUSpoolRow+ctx.CM.CPUTuple)
-	s.cache = append(s.cache, row)
+	s.cacheRow(ctx, row)
 	s.pos++
 	s.emit()
 	return row, true
@@ -77,6 +93,7 @@ func (s *spool) Close(ctx *Ctx) {
 		return
 	}
 	s.child.Close(ctx)
+	ctx.releaseMem(&s.c)
 	s.closed(ctx)
 }
 

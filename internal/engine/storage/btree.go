@@ -124,10 +124,7 @@ func (t *BTree) chargeDescent(li int, bp *BufferPool, io *IOCounts) {
 	for _, levelPages := range t.levels {
 		idx /= t.fanout
 		page := base + uint32(idx)
-		io.Logical++
-		if bp.Access(PageID{t.objectID, page}) {
-			io.Physical++
-		}
+		bp.Read(PageID{t.objectID, page}, io)
 		base += uint32(levelPages)
 	}
 }
@@ -220,10 +217,7 @@ func (c *BTreeCursor) Next() (e IndexEntry, ok bool) {
 		}
 		if c.leaf != c.lastLeaf {
 			c.lastLeaf = c.leaf
-			c.io.Logical++
-			if c.bp.Access(PageID{c.t.objectID, uint32(c.leaf)}) {
-				c.io.Physical++
-			}
+			c.bp.Read(PageID{c.t.objectID, uint32(c.leaf)}, &c.io)
 		}
 		e = leaf[c.pos]
 		if c.bound {

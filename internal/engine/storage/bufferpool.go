@@ -7,7 +7,10 @@
 // physical reads, so the distinction matters for experiment fidelity.
 package storage
 
-import "container/list"
+import (
+	"container/list"
+	"sync"
+)
 
 // PageSize is the simulated page size in bytes, matching SQL Server's 8 KB
 // pages. Row-per-page packing, I/O counting, and the cost model all derive
@@ -21,29 +24,48 @@ type PageID struct {
 	Page   uint32
 }
 
-// IOCounts accumulates logical and physical page reads. Every logical read
-// that misses the buffer pool is also a physical read.
+// IOCounts accumulates logical and physical page reads, plus the fault
+// traffic the injection harness produced while serving them. Every logical
+// read that misses the buffer pool is also a physical read; every retry is
+// an additional physical read.
 type IOCounts struct {
 	Logical  int64
 	Physical int64
+	// Retries counts transient-fault retries absorbed by the storage
+	// layer; the executor charges backoff per retry.
+	Retries int64
+	// Faults counts permanent page-read failures; the executor aborts the
+	// query when it drains a non-zero count.
+	Faults int64
 }
 
 // Add accumulates other into c.
 func (c *IOCounts) Add(other IOCounts) {
 	c.Logical += other.Logical
 	c.Physical += other.Physical
+	c.Retries += other.Retries
+	c.Faults += other.Faults
 }
 
 // BufferPool is a simple LRU page cache. Access returns whether the page
 // had to be read physically. A capacity of zero disables caching (every
-// access is physical); this package never returns errors because the
-// simulated disk cannot fail.
+// access is physical). The simulated disk cannot fail unless a
+// FaultInjector is attached, in which case physical reads may suffer
+// seeded transient or permanent faults, reported through IOCounts.
+//
+// The pool is the one piece of storage state shared by concurrently
+// executing queries (registry-launched sessions against one Database), so
+// its LRU bookkeeping is guarded by an internal latch. Fault sequences stay
+// deterministic for a given seed as long as one query drives the pool at a
+// time — the discrete-event engine's single-threaded-per-query model.
 type BufferPool struct {
+	mu       sync.Mutex
 	capacity int
 	lru      *list.List               // front = most recent
 	pages    map[PageID]*list.Element // value: PageID
 	hits     int64
 	misses   int64
+	faults   *FaultInjector
 }
 
 // NewBufferPool returns a pool caching up to capacity pages.
@@ -57,6 +79,12 @@ func NewBufferPool(capacity int) *BufferPool {
 
 // Access touches pid and reports whether the access was physical (a miss).
 func (bp *BufferPool) Access(pid PageID) (physical bool) {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	return bp.access(pid)
+}
+
+func (bp *BufferPool) access(pid PageID) (physical bool) {
 	if bp.capacity <= 0 {
 		bp.misses++
 		return true
@@ -77,15 +105,64 @@ func (bp *BufferPool) Access(pid PageID) (physical bool) {
 	return true
 }
 
+// SetFaultInjector attaches (or, with nil, detaches) a fault injector;
+// subsequent physical reads through Read consult it.
+func (bp *BufferPool) SetFaultInjector(fi *FaultInjector) {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	bp.faults = fi
+}
+
+// FaultInjector returns the attached injector, or nil.
+func (bp *BufferPool) FaultInjector() *FaultInjector {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	return bp.faults
+}
+
+// Read performs one page read, accumulating into io: a logical read
+// always, a physical read on a pool miss, and — when a fault injector is
+// attached — any transient-fault retries (each an extra physical read) or
+// a permanent failure the read suffered. All storage cursors funnel page
+// access through Read so fault injection covers every access path.
+func (bp *BufferPool) Read(pid PageID, io *IOCounts) {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	io.Logical++
+	if !bp.access(pid) {
+		return
+	}
+	io.Physical++
+	if bp.faults == nil {
+		return
+	}
+	retries, permanent := bp.faults.onPhysicalRead()
+	io.Retries += retries
+	io.Physical += retries // each retry re-issues the read
+	if permanent {
+		io.Faults++
+	}
+}
+
 // Stats returns cumulative hit and miss counts.
-func (bp *BufferPool) Stats() (hits, misses int64) { return bp.hits, bp.misses }
+func (bp *BufferPool) Stats() (hits, misses int64) {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	return bp.hits, bp.misses
+}
 
 // Resident reports the number of cached pages (for tests).
-func (bp *BufferPool) Resident() int { return bp.lru.Len() }
+func (bp *BufferPool) Resident() int {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	return bp.lru.Len()
+}
 
 // Clear evicts everything, simulating a cold cache between workload runs
 // so each query in an experiment starts from the same state.
 func (bp *BufferPool) Clear() {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
 	bp.lru.Init()
 	bp.pages = make(map[PageID]*list.Element)
 }

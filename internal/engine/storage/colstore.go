@@ -98,10 +98,7 @@ func (cs *ColumnStore) ReadRowGroup(g int, cols []int, bp *BufferPool, io *IOCou
 		out[i] = make(types.Row, cs.numCols)
 	}
 	for _, c := range cols {
-		io.Logical++
-		if bp.Access(PageID{cs.objectID, uint32(g*cs.numCols + c)}) {
-			io.Physical++
-		}
+		bp.Read(PageID{cs.objectID, uint32(g*cs.numCols + c)}, io)
 		seg := &grp.segs[c]
 		for i, v := range seg.Values {
 			out[i][c] = v

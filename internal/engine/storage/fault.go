@@ -1,0 +1,101 @@
+// Fault injection: a deterministic, seeded harness that makes the
+// simulated disk fail. Every physical page read consults the injector and
+// may suffer a transient fault — retried with bounded attempts, each retry
+// re-issuing the read and costing backoff on the virtual clock — or a
+// permanent fault, which aborts the query with a typed I/O error at the
+// execution layer. Because the injector draws from its own seeded RNG and
+// the engine is a single-threaded discrete-event simulation per query,
+// runs with the same seed produce identical fault sequences, retry counts,
+// and virtual-time traces.
+package storage
+
+import "lqs/internal/sim"
+
+// DefaultMaxRetries is the retry budget for a transient page-read fault
+// when FaultConfig.MaxRetries is zero.
+const DefaultMaxRetries = 3
+
+// FaultConfig parameterizes the injector. Probabilities are per physical
+// page read; logical reads served from the buffer pool never fault.
+type FaultConfig struct {
+	// Seed seeds the injector's private RNG; same seed, same fault
+	// sequence.
+	Seed uint64
+	// TransientProb is the probability a physical read hits a transient
+	// fault. Each retry re-rolls: with TransientProb = 1 every retry fails
+	// and the read escalates to a permanent fault after MaxRetries.
+	TransientProb float64
+	// PermanentProb is the probability a physical read fails outright
+	// (media error), with no retry.
+	PermanentProb float64
+	// MaxRetries bounds retries of a transient fault before it escalates
+	// to permanent; 0 means DefaultMaxRetries.
+	MaxRetries int
+}
+
+// FaultStats counts what the injector has done.
+type FaultStats struct {
+	// Reads is the number of physical reads the injector arbitrated.
+	Reads int64
+	// Transients is the number of reads that hit at least one transient
+	// fault.
+	Transients int64
+	// Retries is the total retry attempts issued (each also a physical
+	// read and a backoff charge).
+	Retries int64
+	// Permanents is the number of unrecoverable failures: hard media
+	// errors plus transient faults that exhausted their retry budget.
+	Permanents int64
+}
+
+// FaultInjector injects seeded page-read faults into a buffer pool. It is
+// not safe for concurrent use; like the clock, it belongs to one query's
+// single-threaded execution (attach one pool+injector per session, as the
+// examples and workloads do).
+type FaultInjector struct {
+	cfg   FaultConfig
+	rng   *sim.RNG
+	stats FaultStats
+}
+
+// NewFaultInjector returns an injector for the given configuration.
+func NewFaultInjector(cfg FaultConfig) *FaultInjector {
+	return &FaultInjector{cfg: cfg, rng: sim.NewRNG(cfg.Seed)}
+}
+
+// Stats returns cumulative fault statistics.
+func (fi *FaultInjector) Stats() FaultStats { return fi.stats }
+
+// maxRetries resolves the configured retry budget.
+func (fi *FaultInjector) maxRetries() int64 {
+	if fi.cfg.MaxRetries > 0 {
+		return int64(fi.cfg.MaxRetries)
+	}
+	return DefaultMaxRetries
+}
+
+// onPhysicalRead arbitrates the fate of one physical page read: how many
+// transient-fault retries it absorbed, and whether it ultimately failed
+// permanently (hard error, or retries exhausted).
+func (fi *FaultInjector) onPhysicalRead() (retries int64, permanent bool) {
+	fi.stats.Reads++
+	if fi.cfg.PermanentProb > 0 && fi.rng.Float64() < fi.cfg.PermanentProb {
+		fi.stats.Permanents++
+		return 0, true
+	}
+	if fi.cfg.TransientProb <= 0 || fi.rng.Float64() >= fi.cfg.TransientProb {
+		return 0, false
+	}
+	fi.stats.Transients++
+	max := fi.maxRetries()
+	for retries < max {
+		retries++
+		fi.stats.Retries++
+		if fi.rng.Float64() >= fi.cfg.TransientProb {
+			return retries, false // retry succeeded
+		}
+	}
+	// Retry budget exhausted: escalate to a permanent failure.
+	fi.stats.Permanents++
+	return retries, true
+}

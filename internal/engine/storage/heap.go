@@ -63,10 +63,7 @@ func (h *Heap) RowsPerPage() int { return h.rowsPerPage }
 // is an engine bug, not user error.
 func (h *Heap) Get(rid int64, bp *BufferPool, io *IOCounts) types.Row {
 	page := uint32(int(rid) / h.rowsPerPage)
-	io.Logical++
-	if bp.Access(PageID{h.objectID, page}) {
-		io.Physical++
-	}
+	bp.Read(PageID{h.objectID, page}, io)
 	return h.rows[rid]
 }
 
@@ -100,10 +97,7 @@ func (c *HeapCursor) Next() (row types.Row, rid int64, ok bool) {
 	page := c.pos / c.h.rowsPerPage
 	if page != c.lastPage {
 		c.lastPage = page
-		c.io.Logical++
-		if c.bp.Access(PageID{c.h.objectID, uint32(page)}) {
-			c.io.Physical++
-		}
+		c.bp.Read(PageID{c.h.objectID, uint32(page)}, &c.io)
 	}
 	row = c.h.rows[c.pos]
 	rid = int64(c.pos)

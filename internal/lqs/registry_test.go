@@ -1,0 +1,105 @@
+package lqs
+
+import (
+	"errors"
+	"testing"
+
+	"lqs/internal/engine/exec"
+	"lqs/internal/progress"
+)
+
+// TestRegistryConcurrentPolling races List/Poll against the executor
+// goroutines of two queries sharing one database. Run with -race: it
+// exercises the counter-lock capture path, the buffer-pool latch, and the
+// atomic lifecycle fields.
+func TestRegistryConcurrentPolling(t *testing.T) {
+	db := testDB(t)
+	reg := NewQueryRegistry()
+	id1 := reg.Launch("agg-sort-1", Start(db, testPlan(db), progress.LQSOptions()))
+	id2 := reg.Launch("agg-sort-2", Start(db, testPlan(db), progress.LQSOptions()))
+
+	stop := make(chan struct{})
+	polls := make(chan int)
+	go func() {
+		n := 0
+		for {
+			select {
+			case <-stop:
+				polls <- n
+				return
+			default:
+			}
+			for _, qi := range reg.List() {
+				n++
+				if qi.Progress < 0 || qi.Progress > 1 {
+					t.Errorf("progress out of range: %+v", qi)
+				}
+				if qi.Rows < 0 {
+					t.Errorf("negative row count: %+v", qi)
+				}
+			}
+		}
+	}()
+
+	rows1, err1 := reg.Wait(id1)
+	rows2, err2 := reg.Wait(id2)
+	close(stop)
+	if n := <-polls; n == 0 {
+		t.Fatal("concurrent poller never observed the queries")
+	}
+	if err1 != nil || err2 != nil {
+		t.Fatalf("queries failed: %v / %v", err1, err2)
+	}
+	if rows1 != 16 || rows2 != 16 {
+		t.Fatalf("rows = %d, %d; want 16, 16", rows1, rows2)
+	}
+	for _, qi := range reg.List() {
+		if qi.State != exec.StateSucceeded {
+			t.Fatalf("terminal state %v for %s", qi.State, qi.Name)
+		}
+		if qi.Progress < 0.99 {
+			t.Fatalf("final progress %v for %s", qi.Progress, qi.Name)
+		}
+	}
+}
+
+func TestRegistryCancelByID(t *testing.T) {
+	db := testDB(t)
+	reg := NewQueryRegistry()
+	s := Start(db, testPlan(db), progress.LQSOptions())
+	// Hold the counter lock so the runner goroutine cannot take its first
+	// step until the cancellation is registered — the test is deterministic
+	// regardless of scheduling.
+	s.Query.LockCounters()
+	id := reg.Launch("victim", s)
+	if err := reg.Cancel(id, "DBA kill"); err != nil {
+		t.Fatalf("cancel: %v", err)
+	}
+	s.Query.UnlockCounters()
+
+	rows, err := reg.Wait(id)
+	var qe *exec.QueryError
+	if !errors.As(err, &qe) || qe.Kind != exec.KindCancelled {
+		t.Fatalf("wait returned %v, want a KindCancelled QueryError", err)
+	}
+	if rows != 0 {
+		t.Fatalf("cancelled-before-start query produced %d rows", rows)
+	}
+	qi, perr := reg.Poll(id)
+	if perr != nil || qi.State != exec.StateCancelled || qi.Err == nil {
+		t.Fatalf("poll after cancel: %+v, %v", qi, perr)
+	}
+}
+
+func TestRegistryUnknownID(t *testing.T) {
+	reg := NewQueryRegistry()
+	if _, err := reg.Poll(QueryID(42)); err == nil {
+		t.Fatal("Poll on unknown id succeeded")
+	}
+	if err := reg.Cancel(QueryID(42), "x"); err == nil {
+		t.Fatal("Cancel on unknown id succeeded")
+	}
+	if _, err := reg.Wait(QueryID(42)); err == nil {
+		t.Fatal("Wait on unknown id succeeded")
+	}
+}

@@ -8,6 +8,7 @@ package lqs
 import (
 	"fmt"
 	"strings"
+	"sync"
 
 	"lqs/internal/engine/dmv"
 	"lqs/internal/engine/exec"
@@ -26,6 +27,13 @@ type Session struct {
 
 	plan *plan.Plan
 	db   *storage.Database
+
+	// shared marks the session as observed from goroutines other than the
+	// executor (registry-launched queries). Snapshot then captures through
+	// the query's counter lock and serializes the estimator, which keeps
+	// per-session state across polls.
+	shared bool
+	snapMu sync.Mutex
 }
 
 // Attach creates a monitoring session for a query with the given estimator
@@ -48,11 +56,25 @@ func Start(db *storage.Database, root *plan.Node, o progress.Options) *Session {
 	return Attach(q, db, o)
 }
 
-// Step advances the query by up to n result rows; false when complete.
-func (s *Session) Step(n int) bool { return s.Query.Step(n) }
+// Step advances the query by up to n result rows; more=false once the
+// query reaches a terminal state. A failed or cancelled query reports its
+// terminal *exec.QueryError; operator panics are recovered inside the
+// executor and surface here as errors, never as panics.
+func (s *Session) Step(n int) (more bool, err error) { return s.Query.Step(n) }
 
-// Done reports whether the query has finished.
+// Done reports whether the query has reached a terminal state (succeeded,
+// cancelled, or failed).
 func (s *Session) Done() bool { return s.Query.Done() }
+
+// State returns the query's lifecycle state.
+func (s *Session) State() exec.QueryState { return s.Query.State() }
+
+// Err returns the query's terminal error (nil while running or succeeded).
+func (s *Session) Err() error { return s.Query.Err() }
+
+// Cancel requests cooperative cancellation; the executor aborts at the next
+// operator charge boundary. Safe from any goroutine; no-op once terminal.
+func (s *Session) Cancel(reason string) { s.Query.Cancel(reason) }
 
 // OpStatus is one operator's live state, as displayed under each plan node.
 type OpStatus struct {
@@ -74,19 +96,32 @@ type OpStatus struct {
 type QuerySnapshot struct {
 	At       sim.Duration
 	Progress float64
+	State    exec.QueryState
+	Err      error      // terminal error, if State is CANCELLED or FAILED
 	Ops      []OpStatus // indexed by node ID
 	// ActivePipelines marks pipelines with work in flight — the animated
 	// dotted arrows of the SSMS visualization.
 	ActivePipelines []bool
 }
 
-// Snapshot polls the DMV surface and estimates progress right now.
+// Snapshot polls the DMV surface and estimates progress right now. On a
+// shared session (registry-launched) it synchronizes with the executor, so
+// it is safe to call concurrently with the query running.
 func (s *Session) Snapshot() *QuerySnapshot {
-	snap := dmv.Capture(s.Query)
+	var snap *dmv.Snapshot
+	if s.shared {
+		s.snapMu.Lock()
+		defer s.snapMu.Unlock()
+		snap = dmv.CaptureSync(s.Query)
+	} else {
+		snap = dmv.Capture(s.Query)
+	}
 	est := s.Estimator.Estimate(snap)
 	out := &QuerySnapshot{
 		At:              snap.At,
 		Progress:        est.Query,
+		State:           s.Query.State(),
+		Err:             s.Query.Err(),
 		Ops:             make([]OpStatus, len(s.plan.Nodes)),
 		ActivePipelines: make([]bool, len(s.Estimator.Decomp.Pipelines)),
 	}
@@ -128,6 +163,9 @@ func (s *Session) Snapshot() *QuerySnapshot {
 func (s *Session) Render(q *QuerySnapshot) string {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "query progress: %5.1f%%   t=%v\n", q.Progress*100, q.At)
+	if q.State == exec.StateCancelled || q.State == exec.StateFailed {
+		fmt.Fprintf(&sb, "*** %s: %v\n", q.State, q.Err)
+	}
 	var walk func(n *plan.Node, depth int)
 	walk = func(n *plan.Node, depth int) {
 		st := q.Ops[n.ID]
@@ -158,17 +196,26 @@ func bar(frac float64, width int) string {
 	return "[" + strings.Repeat("█", full) + strings.Repeat("░", width-full) + "]"
 }
 
-// Monitor steps the query to completion, invoking observe at every poll
-// interval of virtual time, and returns the number of result rows. It is
-// the loop cmd/lqsmon and the examples drive.
-func (s *Session) Monitor(interval sim.Duration, observe func(*QuerySnapshot)) int64 {
+// Monitor steps the query to a terminal state, invoking observe at every
+// poll interval of virtual time, and returns the number of result rows plus
+// the terminal error (nil on success). It is the loop cmd/lqsmon and the
+// examples drive. Observation stops the moment the query leaves the Running
+// state: a cancelled or failed query gets one final snapshot — carrying the
+// terminal State and Err — and no further polls.
+func (s *Session) Monitor(interval sim.Duration, observe func(*QuerySnapshot)) (int64, error) {
 	s.Query.Ctx.Clock.Observe(interval, func(sim.Duration) {
-		if !s.Query.Done() {
+		if s.Query.State() == exec.StateRunning {
 			observe(s.Snapshot())
 		}
 	})
-	for s.Step(256) {
+	more := true
+	var err error
+	for more && err == nil {
+		more, err = s.Step(256)
 	}
+	// Detach the poll observer before the final capture so a terminal
+	// snapshot is delivered exactly once.
+	s.Query.Ctx.Clock.Observe(0, nil)
 	observe(s.Snapshot())
-	return s.Query.RowsReturned()
+	return s.Query.RowsReturned(), err
 }

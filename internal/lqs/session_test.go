@@ -1,11 +1,13 @@
 package lqs
 
 import (
+	"errors"
 	"strings"
 	"testing"
 	"time"
 
 	"lqs/internal/engine/catalog"
+	"lqs/internal/engine/exec"
 	"lqs/internal/engine/expr"
 	"lqs/internal/engine/storage"
 	"lqs/internal/engine/types"
@@ -44,7 +46,10 @@ func TestSessionMonitorRunsToCompletion(t *testing.T) {
 	db := testDB(t)
 	s := Start(db, testPlan(db), progress.LQSOptions())
 	var snaps []*QuerySnapshot
-	rows := s.Monitor(100*time.Microsecond, func(q *QuerySnapshot) { snaps = append(snaps, q) })
+	rows, err := s.Monitor(100*time.Microsecond, func(q *QuerySnapshot) { snaps = append(snaps, q) })
+	if err != nil {
+		t.Fatalf("monitor: %v", err)
+	}
 	if rows != 16 {
 		t.Fatalf("query returned %d rows", rows)
 	}
@@ -111,9 +116,69 @@ func TestActivePipelinesFlag(t *testing.T) {
 			}
 		}
 	})
-	for s.Step(64) {
+	for more, err := true, error(nil); more && err == nil; {
+		more, err = s.Step(64)
 	}
 	if !sawActive {
 		t.Fatal("no pipeline ever reported active")
+	}
+}
+
+// TestMonitorStopsObservingAfterCancel: once the query leaves Running, the
+// poll observer must fall silent; the single final snapshot carries the
+// terminal state and error, and Monitor surfaces the error.
+func TestMonitorStopsObservingAfterCancel(t *testing.T) {
+	db := testDB(t)
+	s := Start(db, testPlan(db), progress.LQSOptions())
+	var running, terminal int
+	cancelled := false
+	_, err := s.Monitor(50*time.Microsecond, func(q *QuerySnapshot) {
+		if q.State == exec.StateRunning {
+			running++
+			if !cancelled {
+				cancelled = true
+				s.Cancel("kill from the monitor callback")
+			}
+			return
+		}
+		terminal++
+		if q.State != exec.StateCancelled {
+			t.Errorf("terminal snapshot state %v", q.State)
+		}
+		if q.Err == nil {
+			t.Error("terminal snapshot missing the query error")
+		}
+	})
+	var qe *exec.QueryError
+	if !errors.As(err, &qe) || qe.Kind != exec.KindCancelled {
+		t.Fatalf("monitor returned %v, want KindCancelled", err)
+	}
+	if running == 0 {
+		t.Fatal("observer never saw the query running")
+	}
+	if terminal != 1 {
+		t.Fatalf("observed %d terminal snapshots, want exactly 1", terminal)
+	}
+	if s.State() != exec.StateCancelled || s.Err() == nil {
+		t.Fatalf("session state %v, err %v", s.State(), s.Err())
+	}
+	if out := s.Render(s.Snapshot()); !strings.Contains(out, "CANCELLED") {
+		t.Fatalf("render missing terminal banner:\n%s", out)
+	}
+}
+
+// A deadline that expires inside the blocking phase must likewise stop
+// observation and surface through Monitor.
+func TestMonitorSurfacesDeadline(t *testing.T) {
+	db := testDB(t)
+	s := Start(db, testPlan(db), progress.LQSOptions())
+	s.Query.Ctx.Deadline = 200 * time.Microsecond
+	_, err := s.Monitor(50*time.Microsecond, func(q *QuerySnapshot) {})
+	var qe *exec.QueryError
+	if !errors.As(err, &qe) || qe.Kind != exec.KindDeadline {
+		t.Fatalf("monitor returned %v, want KindDeadline", err)
+	}
+	if s.State() != exec.StateCancelled {
+		t.Fatalf("state %v", s.State())
 	}
 }

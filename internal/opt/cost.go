@@ -44,6 +44,10 @@ type CostModel struct {
 	IOPhysicalPage float64
 	// Columnstore segment read (one segment ~ one large sequential unit).
 	IOSegment float64
+	// IORetryBackoff is the virtual-time penalty per transient-fault retry
+	// issued by the storage fault-injection harness (the backoff a real
+	// engine sleeps before re-issuing a failed read).
+	IORetryBackoff float64
 
 	// SortMemoryRows is the in-memory sort budget; larger inputs spill to
 	// simulated disk and merge in passes of SortMergeFanIn runs.
@@ -72,6 +76,7 @@ func DefaultCostModel() *CostModel {
 		IOLogicalPage:  2_000,
 		IOPhysicalPage: 50_000,
 		IOSegment:      20_000,
+		IORetryBackoff: 200_000,
 		SortMemoryRows: 8192,
 		SortMergeFanIn: 8,
 		SpillIOPerRow:  250,

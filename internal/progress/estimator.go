@@ -23,6 +23,13 @@ type Estimator struct {
 	// hasSemiBelow[id]: a semi-blocking operator (exchange, nested loops)
 	// sits between this node and the leaves of its pipeline (§4.4).
 	hasSemiBelow []bool
+
+	// prevOp/prevQuery hold the high-water marks enforced when
+	// Options.Monotone is set. They are per-estimator state: one estimator
+	// monitors one query, matching how the SSMS client holds its own
+	// display state per session.
+	prevOp    []float64
+	prevQuery float64
 }
 
 // Estimate is the result of one estimation pass: what LQS displays.
@@ -97,7 +104,33 @@ func (e *Estimator) Estimate(snap *dmv.Snapshot) *Estimate {
 		est.Query = e.tgnQueryProgress(snap, est)
 	}
 	est.Query = clamp01(est.Query)
+	if e.Opt.Monotone {
+		e.enforceMonotone(est)
+	}
 	return est
+}
+
+// enforceMonotone clamps each operator's and the query's displayed progress
+// to its high-water mark across polls. Refinement legitimately revises
+// cardinalities upward mid-flight (shrinking k/N̂), and stale snapshots can
+// be replayed out of order; neither may move a progress bar backwards.
+func (e *Estimator) enforceMonotone(est *Estimate) {
+	if e.prevOp == nil {
+		e.prevOp = make([]float64, len(e.Plan.Nodes))
+	}
+	for i := range est.Op {
+		est.Op[i] = clamp01(est.Op[i])
+		if i < len(e.prevOp) {
+			if est.Op[i] < e.prevOp[i] {
+				est.Op[i] = e.prevOp[i]
+			}
+			e.prevOp[i] = est.Op[i]
+		}
+	}
+	if est.Query < e.prevQuery {
+		est.Query = e.prevQuery
+	}
+	e.prevQuery = est.Query
 }
 
 // deriveN fills est.N: the N̂_i of Equation 2, refined (§4.1, §4.4) and
@@ -114,6 +147,16 @@ func (e *Estimator) deriveN(snap *dmv.Snapshot, est *Estimate) {
 		est.N[n.ID] = e.nodeN(snap, est, n, alphaMemo)
 		if e.Opt.Bound {
 			est.N[n.ID] = est.Bounds[n.ID].Clamp(est.N[n.ID])
+		}
+		// A degenerate optimizer estimate (NaN/Inf from a pathological
+		// selectivity product, or negative from bad stats) would poison
+		// every downstream division; pin it to a sane floor instead.
+		if v := est.N[n.ID]; math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+			if fb := n.EstRows; fb > 0 && !math.IsNaN(fb) && !math.IsInf(fb, 0) {
+				est.N[n.ID] = fb
+			} else {
+				est.N[n.ID] = 0
+			}
 		}
 	}
 	process(e.Plan.Root)

@@ -1,0 +1,138 @@
+package progress
+
+import (
+	"math"
+	"testing"
+
+	"lqs/internal/engine/dmv"
+	"lqs/internal/engine/expr"
+	"lqs/internal/plan"
+)
+
+// The estimator is a display component fed by an asynchronous poller: it
+// must tolerate snapshots that are empty, partial (fewer ops than the plan
+// has nodes), stale, or carrying degenerate optimizer estimates — and with
+// Monotone set, its output must never move a progress bar backwards.
+
+func (f *fixture) hardeningPlan(tb testing.TB) (*plan.Plan, *dmv.Trace) {
+	tb.Helper()
+	agg := f.b.HashAgg(
+		f.b.Filter(f.b.TableScan("fact", nil, nil), expr.Lt(expr.C(2, "cat"), expr.KInt(10))),
+		[]int{2}, []expr.AggSpec{{Kind: expr.CountStar}})
+	return f.trace(tb, f.b.Sort(agg, []int{0}, nil), nil)
+}
+
+func TestEstimateToleratesEmptyAndPartialSnapshots(t *testing.T) {
+	f := newFixture(t)
+	p, _ := f.hardeningPlan(t)
+	e := NewEstimator(p, f.cat, LQSOptions())
+
+	for _, snap := range []*dmv.Snapshot{
+		{},                              // empty: poll before registration
+		{Ops: make([]dmv.OpProfile, 2)}, // partial: fewer ops than plan nodes
+		{Ops: make([]dmv.OpProfile, len(p.Nodes))}, // right size, all zero
+	} {
+		est := e.Estimate(snap) // must not panic
+		if est.Query < 0 || est.Query > 1 || math.IsNaN(est.Query) {
+			t.Fatalf("query progress %v from degenerate snapshot", est.Query)
+		}
+		for id, op := range est.Op {
+			if op < 0 || op > 1 || math.IsNaN(op) {
+				t.Fatalf("node %d progress %v from degenerate snapshot", id, op)
+			}
+		}
+		for id, n := range est.N {
+			if math.IsNaN(n) || math.IsInf(n, 0) || n < 0 {
+				t.Fatalf("node %d N̂ = %v from degenerate snapshot", id, n)
+			}
+		}
+	}
+}
+
+func TestEstimateSanitizesDegenerateOptimizerEstimates(t *testing.T) {
+	f := newFixture(t)
+	p, tr := f.hardeningPlan(t)
+	// Poison one node's estimate after planning, simulating a pathological
+	// selectivity product.
+	poisoned := p.Nodes[1]
+	saved := poisoned.EstRows
+	poisoned.EstRows = math.NaN()
+	defer func() { poisoned.EstRows = saved }()
+
+	e := NewEstimator(p, f.cat, Options{Refine: true, MinRefineRows: 16})
+	for _, snap := range tr.Snapshots {
+		est := e.Estimate(snap)
+		for id, n := range est.N {
+			if math.IsNaN(n) || math.IsInf(n, 0) || n < 0 {
+				t.Fatalf("node %d N̂ = %v despite sanitization", id, n)
+			}
+		}
+		if math.IsNaN(est.Query) {
+			t.Fatal("NaN query progress leaked through")
+		}
+	}
+}
+
+func TestMonotoneProgressAcrossStaleSnapshots(t *testing.T) {
+	f := newFixture(t)
+	p, tr := f.hardeningPlan(t)
+	if len(tr.Snapshots) < 4 {
+		t.Fatalf("trace too short: %d snapshots", len(tr.Snapshots))
+	}
+
+	e := NewEstimator(p, f.cat, LQSOptions())
+	// Replay the trace with deliberate re-deliveries of older snapshots —
+	// the out-of-order arrivals a decoupled poller can produce.
+	sequence := []*dmv.Snapshot{
+		tr.Snapshots[0],
+		tr.Snapshots[2],
+		tr.Snapshots[1], // stale
+		tr.Snapshots[3],
+		tr.Snapshots[0], // very stale
+		tr.Final,
+	}
+	prevQuery := -1.0
+	prevOp := make([]float64, len(p.Nodes))
+	for i, snap := range sequence {
+		est := e.Estimate(snap)
+		if est.Query < prevQuery {
+			t.Fatalf("step %d: query progress regressed %v -> %v", i, prevQuery, est.Query)
+		}
+		prevQuery = est.Query
+		for id := range est.Op {
+			if est.Op[id] < prevOp[id] {
+				t.Fatalf("step %d node %d: op progress regressed %v -> %v",
+					i, id, prevOp[id], est.Op[id])
+			}
+			prevOp[id] = est.Op[id]
+		}
+	}
+	if prevQuery < 0.99 {
+		t.Fatalf("final progress %v after replaying to the final snapshot", prevQuery)
+	}
+
+	// Without Monotone the same stale replay is allowed to regress — the
+	// ablation path must stay unconstrained. (No assertion that it does
+	// regress, only that the option is what separates the two behaviours.)
+	raw := NewEstimator(p, f.cat, TGNOptions())
+	for _, snap := range sequence {
+		raw.Estimate(snap)
+	}
+}
+
+// Monotone high-water marks are per-estimator: a fresh estimator starts
+// from zero, so traces replayed through different configurations (the
+// experiment harness) stay independent.
+func TestMonotoneStateIsPerEstimator(t *testing.T) {
+	f := newFixture(t)
+	p, tr := f.hardeningPlan(t)
+
+	first := NewEstimator(p, f.cat, LQSOptions())
+	first.Estimate(tr.Final)
+
+	second := NewEstimator(p, f.cat, LQSOptions())
+	early := second.Estimate(tr.Snapshots[0])
+	if early.Query >= 0.99 {
+		t.Fatalf("fresh estimator inherited progress: %v", early.Query)
+	}
+}

@@ -60,6 +60,15 @@ type Options struct {
 	// costs in prior executions instead of the optimizer cost model.
 	WeightFeedback *Feedback
 
+	// Monotone enforces per-node and per-query monotonicity across polls:
+	// displayed progress never regresses, even when refinement revises a
+	// cardinality estimate upward or a stale snapshot arrives out of order.
+	// This is a display-layer invariant (a progress bar that moves backwards
+	// destroys user trust — the phenomenon Fig. 4 discusses); the underlying
+	// estimates stay unconstrained so ablation experiments can study raw
+	// estimator behavior with it off.
+	Monotone bool
+
 	// InternalCounters implements the paper's first §7 future-work item:
 	// consume the extended DMV counters exposing blocking operators'
 	// internal work (a spilled sort's external merge progress), closing
@@ -82,6 +91,7 @@ func LQSOptions() Options {
 		TwoPhaseBlocking: true,
 		Weighted:         true,
 		BatchMode:        true,
+		Monotone:         true,
 		MinRefineRows:    DefaultMinRefineRows,
 	}
 }

@@ -22,7 +22,10 @@ func runQuery(tb testing.TB, w *Workload, q Query) (*exec.Query, int64) {
 	})
 	w.DB.ColdStart()
 	query := exec.NewQuery(p, w.DB, opt.DefaultCostModel(), sim.NewClock())
-	rows := query.Run()
+	rows, err := query.Run()
+	if err != nil {
+		tb.Fatalf("%s: query failed: %v", q.Name, err)
+	}
 	return query, rows
 }
 

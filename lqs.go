@@ -11,9 +11,15 @@
 //	db := lqs.NewDatabase(cat, poolPages)   // storage + catalog
 //	b  := lqs.NewPlanBuilder(db.Catalog)    // physical plan construction
 //	s  := lqs.Start(db, b.TableScan(...), lqs.DefaultOptions())
-//	s.Monitor(500*time.Microsecond, func(q *lqs.QuerySnapshot) {
+//	rows, err := s.Monitor(500*time.Microsecond, func(q *lqs.QuerySnapshot) {
 //	    fmt.Print(s.Render(q))              // live plan + progress
 //	})
+//
+// Monitor returns a non-nil *QueryError when the query was cancelled
+// (s.Cancel, or a virtual-time deadline) or failed (injected I/O faults,
+// memory-grant exhaustion, internal errors); operator panics never escape
+// the executor. Concurrent queries run under a QueryRegistry, which lists,
+// polls, and cancels them from any goroutine while they execute.
 //
 // See examples/ for runnable scenarios, internal/progress for the paper's
 // techniques (§4.1-§4.7), and internal/experiments for the evaluation
@@ -60,6 +66,40 @@ type (
 	OpStatus      = lqs.OpStatus
 	Options       = progress.Options
 	Estimate      = progress.Estimate
+
+	// QueryError is the typed terminal error of a cancelled or failed
+	// query; ErrorKind classifies it; QueryState is its lifecycle state.
+	QueryError = exec.QueryError
+	ErrorKind  = exec.ErrorKind
+	QueryState = exec.QueryState
+
+	// QueryRegistry tracks concurrently executing queries (launch, list,
+	// poll, cancel, wait); QueryInfo is one listing row.
+	QueryRegistry = lqs.QueryRegistry
+	QueryID       = lqs.QueryID
+	QueryInfo     = lqs.QueryInfo
+
+	// FaultConfig seeds the storage fault-injection harness.
+	FaultConfig   = storage.FaultConfig
+	FaultInjector = storage.FaultInjector
+)
+
+// Query lifecycle states.
+const (
+	StatePending   = exec.StatePending
+	StateRunning   = exec.StateRunning
+	StateSucceeded = exec.StateSucceeded
+	StateCancelled = exec.StateCancelled
+	StateFailed    = exec.StateFailed
+)
+
+// QueryError kinds.
+const (
+	KindInternal  = exec.KindInternal
+	KindCancelled = exec.KindCancelled
+	KindDeadline  = exec.KindDeadline
+	KindMemory    = exec.KindMemory
+	KindIO        = exec.KindIO
 )
 
 // Value constructors.
@@ -105,3 +145,7 @@ func Start(db *Database, root *PlanNode, o Options) *Session {
 // Estimate attaches optimizer cardinality and cost estimates to a
 // finalized plan (Start does this automatically).
 func EstimatePlan(cat *Catalog, p *Plan) { opt.NewEstimator(cat).Estimate(p) }
+
+// NewQueryRegistry returns an empty registry for concurrent query
+// execution and monitoring.
+func NewQueryRegistry() *QueryRegistry { return lqs.NewQueryRegistry() }

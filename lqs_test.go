@@ -38,13 +38,16 @@ func TestPublicFacadeEndToEnd(t *testing.T) {
 
 	polls := 0
 	var lastProgress float64
-	rows := session.Monitor(500*time.Microsecond, func(q *lqs.QuerySnapshot) {
+	rows, err := session.Monitor(500*time.Microsecond, func(q *lqs.QuerySnapshot) {
 		polls++
 		if q.Progress < 0 || q.Progress > 1 {
 			t.Fatalf("progress out of range: %v", q.Progress)
 		}
 		lastProgress = q.Progress
 	})
+	if err != nil {
+		t.Fatalf("monitor: %v", err)
+	}
 	if rows != 8 {
 		t.Fatalf("query returned %d rows", rows)
 	}
@@ -69,7 +72,8 @@ func Example() {
 	agg := b.HashAgg(scan, []int{1}, []expr.AggSpec{{Kind: expr.CountStar}})
 	session := lqs.Start(db, agg, lqs.DefaultOptions())
 
-	for session.Step(2) {
+	for more, err := true, error(nil); more && err == nil; {
+		more, err = session.Step(2)
 	}
 	final := session.Snapshot()
 	fmt.Printf("progress %.0f%%, scan rows %d\n",
