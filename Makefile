@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all vet build test race ci
+.PHONY: all vet build test race bench ci
 
 all: ci
 
@@ -14,8 +14,14 @@ test:
 	$(GO) test ./...
 
 # The concurrency-sensitive packages: registry-driven concurrent queries,
-# cross-goroutine snapshot capture, and the buffer-pool latch.
+# cross-goroutine snapshot capture, the buffer-pool latch, and the
+# parallel tracing harness (worker pool + ordered merge).
 race:
-	$(GO) test -race ./internal/lqs/... ./internal/engine/dmv/...
+	$(GO) test -race ./internal/lqs/... ./internal/engine/dmv/... ./internal/metrics/...
+
+# Quick-mode suite with parallel tracing; machine-readable timings (with
+# speedup vs a serial reference pass) land in bench.json.
+bench:
+	$(GO) run ./cmd/lqsbench -parallel 0 -bench-json bench.json
 
 ci: vet build test race

@@ -7,25 +7,56 @@
 //	lqsbench -run Fig14      # one experiment
 //	lqsbench -full           # trace every query of every workload
 //	lqsbench -seed 7         # different data/workload seed
+//	lqsbench -parallel 8     # trace with 8 workers (0 = GOMAXPROCS)
+//	lqsbench -bench-json -   # machine-readable timings on stdout
 //	lqsbench -list           # list experiment IDs
+//
+// Output is byte-identical at every -parallel setting: workers trace
+// against private regenerated workloads and results merge in query order.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
 	"lqs/internal/experiments"
+	"lqs/internal/metrics"
 )
+
+// phaseBench is one experiment's timing record in the -bench-json report.
+type phaseBench struct {
+	ID            string  `json:"id"`
+	WallSeconds   float64 `json:"wall_seconds"`
+	QueriesTraced int64   `json:"queries_traced"`
+	// SerialSeconds and Speedup are present only when the run was
+	// parallel and a serial reference pass was taken.
+	SerialSeconds float64 `json:"serial_seconds,omitempty"`
+	Speedup       float64 `json:"speedup,omitempty"`
+}
+
+// benchReport is the top-level -bench-json document.
+type benchReport struct {
+	Seed        uint64       `json:"seed"`
+	Quick       bool         `json:"quick"`
+	Parallel    int          `json:"parallel"`
+	Workers     int          `json:"workers"`
+	WallSeconds float64      `json:"wall_seconds"`
+	Phases      []phaseBench `json:"phases"`
+}
 
 func main() {
 	var (
-		run  = flag.String("run", "all", "experiment ID to run (Fig8..Fig20, TableA1) or 'all'")
-		full = flag.Bool("full", false, "trace every query (default subsamples the large REAL workloads)")
-		seed = flag.Uint64("seed", 42, "workload generation seed")
-		list = flag.Bool("list", false, "list experiment IDs and exit")
+		run      = flag.String("run", "all", "experiment ID to run (Fig8..Fig20, TableA1) or 'all'")
+		full     = flag.Bool("full", false, "trace every query (default subsamples the large REAL workloads)")
+		seed     = flag.Uint64("seed", 42, "workload generation seed")
+		list     = flag.Bool("list", false, "list experiment IDs and exit")
+		parallel = flag.Int("parallel", 1, "tracing workers: 1 = serial, 0 = GOMAXPROCS")
+		benchOut = flag.String("bench-json", "", "write machine-readable timings to this file ('-' = stdout); parallel runs add a serial reference pass for speedup")
 	)
 	flag.Parse()
 
@@ -36,19 +67,70 @@ func main() {
 		return
 	}
 
-	suite := experiments.NewSuite(experiments.Config{Seed: *seed, Quick: !*full})
+	suite := experiments.NewSuite(experiments.Config{Seed: *seed, Quick: !*full, Parallel: *parallel})
 	ids := experiments.IDs()
 	if !strings.EqualFold(*run, "all") {
 		ids = strings.Split(*run, ",")
 	}
+
+	workers := *parallel
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	report := benchReport{Seed: *seed, Quick: !*full, Parallel: *parallel, Workers: workers}
+	totalStart := time.Now()
 	for _, id := range ids {
+		metrics.ResetTracedQueries()
 		start := time.Now()
 		res, err := suite.Run(strings.TrimSpace(id))
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
+		wall := time.Since(start)
 		fmt.Println(res.Render())
-		fmt.Printf("(%s completed in %v)\n\n", res.ID, time.Since(start).Round(time.Millisecond))
+		fmt.Printf("(%s completed in %v)\n\n", res.ID, wall.Round(time.Millisecond))
+		report.Phases = append(report.Phases, phaseBench{
+			ID:            res.ID,
+			WallSeconds:   wall.Seconds(),
+			QueriesTraced: metrics.TracedQueries(),
+		})
+	}
+	report.WallSeconds = time.Since(totalStart).Seconds()
+
+	if *benchOut == "" {
+		return
+	}
+	if workers > 1 {
+		// Serial reference pass on a fresh suite (fresh workload cache, so
+		// generation cost is paid equally by both passes).
+		ref := experiments.NewSuite(experiments.Config{Seed: *seed, Quick: !*full, Parallel: 1})
+		for i, id := range ids {
+			metrics.ResetTracedQueries()
+			start := time.Now()
+			if _, err := ref.Run(strings.TrimSpace(id)); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			serial := time.Since(start).Seconds()
+			report.Phases[i].SerialSeconds = serial
+			if report.Phases[i].WallSeconds > 0 {
+				report.Phases[i].Speedup = serial / report.Phases[i].WallSeconds
+			}
+		}
+	}
+	buf, err := json.MarshalIndent(&report, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	buf = append(buf, '\n')
+	if *benchOut == "-" {
+		os.Stdout.Write(buf)
+		return
+	}
+	if err := os.WriteFile(*benchOut, buf, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
 }

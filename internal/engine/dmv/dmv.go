@@ -146,15 +146,21 @@ type Poller struct {
 	interval sim.Duration
 	queries  []*exec.Query
 	traces   map[*exec.Query]*Trace
+	obs      *sim.Observation
 }
 
-// NewPoller attaches a poller to the clock at the given interval; it takes
-// over the clock's observer slot.
+// NewPoller attaches a poller to the clock at the given interval. The
+// poller holds its own observer registration, so other observers (a
+// monitoring session, for example) may share the clock.
 func NewPoller(clock *sim.Clock, interval sim.Duration) *Poller {
 	p := &Poller{clock: clock, interval: interval, traces: make(map[*exec.Query]*Trace)}
-	clock.Observe(interval, p.sample)
+	p.obs = clock.Observe(interval, p.sample)
 	return p
 }
+
+// Detach stops the poller's clock observer; accumulated traces remain
+// readable via Finish. Safe to call more than once.
+func (p *Poller) Detach() { p.obs.Stop() }
 
 // Register adds a query to the poll set.
 func (p *Poller) Register(q *exec.Query) {
@@ -179,9 +185,15 @@ func (p *Poller) sample(at sim.Duration) {
 	}
 }
 
-// Finish finalizes a completed query's trace and returns it.
+// Finish finalizes a completed query's trace and returns it. A query that
+// was never Registered has no accumulated snapshots; Finish degrades to a
+// trace holding only the final capture instead of panicking — monitoring
+// code may race registration against a fast query's completion.
 func (p *Poller) Finish(q *exec.Query) *Trace {
 	tr := p.traces[q]
+	if tr == nil {
+		tr = &Trace{Plan: q.Plan}
+	}
 	tr.Final = Capture(q)
 	tr.StartedAt, _ = q.Started()
 	tr.EndedAt, _ = q.Ended()

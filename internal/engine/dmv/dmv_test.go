@@ -97,6 +97,54 @@ func TestPollerSkipsFinishedQueries(t *testing.T) {
 	}
 }
 
+// TestFinishWithoutRegister: finalizing a query the poller never sampled
+// must not panic on the missing trace entry — it degrades to a trace built
+// from a final capture, with no accumulated snapshots.
+func TestFinishWithoutRegister(t *testing.T) {
+	clock := sim.NewClock()
+	q, scan := testQuery(t, clock)
+	poller := NewPoller(clock, 100*time.Microsecond)
+	q.Run()
+	tr := poller.Finish(q) // pre-fix: nil-map lookup → nil *Trace deref panic
+	if tr == nil || tr.Final == nil {
+		t.Fatal("Finish returned no usable trace")
+	}
+	if len(tr.Snapshots) != 0 {
+		t.Fatalf("unregistered query accumulated %d snapshots", len(tr.Snapshots))
+	}
+	if tr.Plan != q.Plan {
+		t.Fatal("trace plan not set")
+	}
+	if tr.TrueRows[scan.ID] != 5000 {
+		t.Fatalf("TrueRows = %d", tr.TrueRows[scan.ID])
+	}
+	if tr.EndedAt <= tr.StartedAt {
+		t.Fatal("start/end times not recorded")
+	}
+}
+
+// TestPollerDetach: a detached poller stops sampling but keeps its traces.
+func TestPollerDetach(t *testing.T) {
+	clock := sim.NewClock()
+	q, _ := testQuery(t, clock)
+	poller := NewPoller(clock, 100*time.Microsecond)
+	poller.Register(q)
+	q.Run()
+	n := len(poller.traces[q].Snapshots)
+	if n < 3 {
+		t.Fatalf("only %d snapshots before detach", n)
+	}
+	poller.Detach()
+	poller.Detach() // idempotent
+	clock.Advance(10 * time.Millisecond)
+	if len(poller.traces[q].Snapshots) != n {
+		t.Fatal("detached poller kept sampling")
+	}
+	if tr := poller.Finish(q); len(tr.Snapshots) != n {
+		t.Fatal("Finish lost snapshots after detach")
+	}
+}
+
 func TestColumnStoreSegments(t *testing.T) {
 	if ColumnStoreSegments(10, 3) != 30 || ColumnStoreSegments(10, 0) != 10 {
 		t.Fatal("segment math wrong")

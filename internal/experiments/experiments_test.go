@@ -179,6 +179,20 @@ func TestCrossWorkloadFigures(t *testing.T) {
 	}
 }
 
+// TestSuiteParallelRendersIdentically pins the tentpole guarantee at the
+// experiment layer: a suite configured with parallel tracing renders the
+// same bytes as a serial one. Fig18 traces two full TPC-H designs through
+// the runner, so the worker pool genuinely reorders trace completion.
+func TestSuiteParallelRendersIdentically(t *testing.T) {
+	serial := NewSuite(Config{Seed: 42, Quick: true, Parallel: 1})
+	par := NewSuite(Config{Seed: 42, Quick: true, Parallel: 4})
+	want := serial.Fig18().Render()
+	got := par.Fig18().Render()
+	if got != want {
+		t.Fatalf("parallel Fig18 diverged from serial:\n--- serial ---\n%s--- parallel ---\n%s", want, got)
+	}
+}
+
 func TestRenderTable(t *testing.T) {
 	r := &Result{ID: "X", Title: "T", Header: []string{"a", "bb"}, Rows: [][]string{{"1", "2"}}, Notes: []string{"n"}}
 	out := r.Render()

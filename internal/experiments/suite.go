@@ -26,6 +26,10 @@ type Config struct {
 	// suite completes in tens of seconds; the default full mode traces
 	// every query, as the paper does.
 	Quick bool
+	// Parallel is the tracing worker count handed to every runner
+	// (metrics.Runner semantics: 1 = serial, 0 = GOMAXPROCS). Results are
+	// byte-identical at any setting.
+	Parallel int
 }
 
 // Suite lazily builds and caches the five workloads (plus the columnstore
@@ -76,7 +80,7 @@ func (s *Suite) Workload(name string) *workload.Workload {
 // runner returns the per-workload tracing runner; Quick mode strides the
 // big REAL workloads down to ~60 queries.
 func (s *Suite) runner(name string) metrics.Runner {
-	r := metrics.Runner{}
+	r := metrics.Runner{Parallel: s.Cfg.Parallel}
 	if s.Cfg.Quick {
 		switch name {
 		case "REAL-1":

@@ -203,7 +203,7 @@ func bar(frac float64, width int) string {
 // state: a cancelled or failed query gets one final snapshot — carrying the
 // terminal State and Err — and no further polls.
 func (s *Session) Monitor(interval sim.Duration, observe func(*QuerySnapshot)) (int64, error) {
-	s.Query.Ctx.Clock.Observe(interval, func(sim.Duration) {
+	obs := s.Query.Ctx.Clock.Observe(interval, func(sim.Duration) {
 		if s.Query.State() == exec.StateRunning {
 			observe(s.Snapshot())
 		}
@@ -213,9 +213,10 @@ func (s *Session) Monitor(interval sim.Duration, observe func(*QuerySnapshot)) (
 	for more && err == nil {
 		more, err = s.Step(256)
 	}
-	// Detach the poll observer before the final capture so a terminal
-	// snapshot is delivered exactly once.
-	s.Query.Ctx.Clock.Observe(0, nil)
+	// Detach only Monitor's own poll observer before the final capture so a
+	// terminal snapshot is delivered exactly once. Other observers sharing
+	// the clock — an attached dmv.Poller, most commonly — stay registered.
+	obs.Stop()
 	observe(s.Snapshot())
 	return s.Query.RowsReturned(), err
 }

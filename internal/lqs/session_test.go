@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"lqs/internal/engine/catalog"
+	"lqs/internal/engine/dmv"
 	"lqs/internal/engine/exec"
 	"lqs/internal/engine/expr"
 	"lqs/internal/engine/storage"
@@ -40,6 +41,35 @@ func testPlan(db *storage.Database) *plan.Node {
 	agg := b.HashAgg(b.TableScan("t", nil, nil), []int{1},
 		[]expr.AggSpec{{Kind: expr.Sum, Arg: expr.C(2, "v")}})
 	return b.Sort(agg, []int{1}, []bool{true})
+}
+
+// TestMonitorCoexistsWithPoller: a dmv.Poller and Session.Monitor share one
+// clock. Pre-fix, sim.Clock held a single observer slot, so Monitor's
+// registration silently detached the poller (and a later poller would have
+// detached Monitor); now both sample independently.
+func TestMonitorCoexistsWithPoller(t *testing.T) {
+	db := testDB(t)
+	s := Start(db, testPlan(db), progress.LQSOptions())
+	poller := dmv.NewPoller(s.Query.Ctx.Clock, 100*time.Microsecond)
+	poller.Register(s.Query)
+
+	observed := 0
+	if _, err := s.Monitor(100*time.Microsecond, func(*QuerySnapshot) { observed++ }); err != nil {
+		t.Fatalf("monitor: %v", err)
+	}
+	if observed < 3 {
+		t.Fatalf("monitor observed only %d snapshots", observed)
+	}
+	tr := poller.Finish(s.Query)
+	if len(tr.Snapshots) < 3 {
+		t.Fatalf("poller sampled only %d snapshots while Monitor ran", len(tr.Snapshots))
+	}
+	// Both observers used the same interval, so they saw the same grid of
+	// boundaries: the poller's trace must cover every Running-state poll
+	// Monitor delivered (Monitor adds one final terminal snapshot).
+	if len(tr.Snapshots) < observed-1 {
+		t.Fatalf("poller saw %d boundaries, monitor saw %d", len(tr.Snapshots), observed)
+	}
 }
 
 func TestSessionMonitorRunsToCompletion(t *testing.T) {

@@ -13,6 +13,9 @@ package metrics
 
 import (
 	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"lqs/internal/engine/dmv"
 	"lqs/internal/engine/exec"
@@ -33,9 +36,20 @@ const DefaultInterval = 100 * sim.Duration(1000) // 100µs
 // toward an average (ultra-short queries carry no progress signal).
 const MinSnapshots = 3
 
+// tracedQueries counts TraceQuery calls process-wide, for the benchmark
+// harness's throughput reporting.
+var tracedQueries atomic.Int64
+
+// TracedQueries returns the number of queries traced since the last reset.
+func TracedQueries() int64 { return tracedQueries.Load() }
+
+// ResetTracedQueries zeroes the traced-query counter.
+func ResetTracedQueries() { tracedQueries.Store(0) }
+
 // TraceQuery executes one workload query under the DMV poller and returns
 // its finalized plan and trace.
 func TraceQuery(w *workload.Workload, q workload.Query, interval sim.Duration) (*plan.Plan, *dmv.Trace) {
+	tracedQueries.Add(1)
 	p := plan.Finalize(q.Build(w.Builder()))
 	opt.NewEstimator(w.DB.Catalog).Estimate(p)
 	clock := sim.NewClock()
@@ -57,31 +71,118 @@ type Runner struct {
 	// Stride samples every Stride-th query (0/1 = every query), for quick
 	// passes over the large REAL workloads.
 	Stride int
+	// Parallel is the number of tracing workers: 1 runs strictly serial,
+	// 0 defaults to GOMAXPROCS. Any value produces output byte-identical
+	// to the serial run — each worker traces against its own regenerated
+	// Workload (never the shared one), and fn is invoked serially in
+	// query order. Workloads without a Gen hook fall back to serial.
+	Parallel int
 }
 
-// ForEach traces queries and invokes fn on each usable trace.
+// positions lists the query indices the runner will visit, in order.
+func (r Runner) positions(w *workload.Workload) []int {
+	stride := r.Stride
+	if stride < 1 {
+		stride = 1
+	}
+	var idx []int
+	for i := 0; i < len(w.Queries); i += stride {
+		idx = append(idx, i)
+	}
+	return idx
+}
+
+// ForEach traces queries and invokes fn on each usable trace. fn runs on
+// the calling goroutine in workload order regardless of Parallel, so it
+// needs no locking and aggregates it builds (error means, per-operator
+// accumulators, figure tables) match the serial run exactly. Limit counts
+// usable traces and is applied at consumption, also in order.
 func (r Runner) ForEach(w *workload.Workload, fn func(q workload.Query, p *plan.Plan, tr *dmv.Trace)) {
 	interval := r.Interval
 	if interval == 0 {
 		interval = DefaultInterval
 	}
-	stride := r.Stride
-	if stride < 1 {
-		stride = 1
+	idx := r.positions(w)
+	workers := r.Parallel
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
 	}
+	if workers > len(idx) {
+		workers = len(idx)
+	}
+	if workers <= 1 || w.Gen == nil {
+		count := 0
+		for _, i := range idx {
+			if r.Limit > 0 && count >= r.Limit {
+				break
+			}
+			q := w.Queries[i]
+			p, tr := TraceQuery(w, q, interval)
+			if len(tr.Snapshots) < MinSnapshots {
+				continue
+			}
+			count++
+			fn(q, p, tr)
+		}
+		return
+	}
+
+	// Parallel path: workers trace ahead out of order; the consumer below
+	// drains results strictly in position order. Each position's channel
+	// is buffered, so a worker never blocks on a result the consumer has
+	// abandoned after hitting Limit.
+	type result struct {
+		p  *plan.Plan
+		tr *dmv.Trace
+	}
+	results := make([]chan result, len(idx))
+	for pos := range results {
+		results[pos] = make(chan result, 1)
+	}
+	jobs := make(chan int)
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	for wk := 0; wk < workers; wk++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// Regenerate lazily: a worker that never receives a job (every
+			// query consumed before it starts) skips the database build.
+			var local *workload.Workload
+			for pos := range jobs {
+				if local == nil {
+					local = w.Gen()
+				}
+				p, tr := TraceQuery(local, local.Queries[idx[pos]], interval)
+				results[pos] <- result{p, tr}
+			}
+		}()
+	}
+	go func() {
+		defer close(jobs)
+		for pos := range idx {
+			select {
+			case jobs <- pos:
+			case <-done:
+				return
+			}
+		}
+	}()
+
 	count := 0
-	for i := 0; i < len(w.Queries); i += stride {
+	for pos := range idx {
 		if r.Limit > 0 && count >= r.Limit {
 			break
 		}
-		q := w.Queries[i]
-		p, tr := TraceQuery(w, q, interval)
-		if len(tr.Snapshots) < MinSnapshots {
+		res := <-results[pos]
+		if len(res.tr.Snapshots) < MinSnapshots {
 			continue
 		}
 		count++
-		fn(q, p, tr)
+		fn(w.Queries[idx[pos]], res.p, res.tr)
 	}
+	close(done)
+	wg.Wait()
 }
 
 // oracleProgress is the Errorcount reference: Equation 2 with unit weights

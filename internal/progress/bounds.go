@@ -65,16 +65,25 @@ func (e *Estimator) ComputeBounds(snap *dmv.Snapshot) []Bounds {
 
 		switch n.Physical {
 		case plan.TableScan:
-			size := float64(e.Cat.MustTable(n.Table).RowCount)
-			if n.Pred == nil && !n.HasStoragePred() {
+			// Unknown table (stale client catalog): no size to bound
+			// against — degrade to the trivially true [k, +Inf) rather
+			// than crash the monitor.
+			size, known := e.tableRowCount(n.Table)
+			switch {
+			case !known:
+				b = Bounds{LB: k, UB: inf}
+			case n.Pred == nil && !n.HasStoragePred():
 				b = Bounds{LB: size * innerMult(), UB: size * innerMult()}
-			} else {
+			default:
 				b = Bounds{LB: k, UB: size * innerMult()}
 			}
 		case plan.ClusteredIndexScan, plan.IndexScan, plan.ClusteredIndexSeek,
 			plan.IndexSeek, plan.ColumnstoreIndexScan:
-			size := float64(e.Cat.MustTable(n.Table).RowCount)
-			b = Bounds{LB: k, UB: size * innerMult()}
+			if size, known := e.tableRowCount(n.Table); known {
+				b = Bounds{LB: k, UB: size * innerMult()}
+			} else {
+				b = Bounds{LB: k, UB: inf}
+			}
 		case plan.ConstantScan:
 			c := float64(len(n.ConstRows)) * innerMult()
 			b = Bounds{LB: c, UB: c}

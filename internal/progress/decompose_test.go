@@ -5,6 +5,7 @@ import (
 
 	"lqs/internal/engine/expr"
 	"lqs/internal/plan"
+	"lqs/internal/workload"
 )
 
 // fig5Plan reproduces the paper's Figure 5: merge join over a scan and a
@@ -127,6 +128,96 @@ func TestHasSemiBelow(t *testing.T) {
 	}
 	if !e.hasSemiBelow[fl.ID] || !e.hasSemiBelow[agg.ID] {
 		t.Error("nodes above the exchange must report semi-below")
+	}
+}
+
+// TestDriverSetsDisjointInvariant proves the decomposition invariant that
+// pipelineAlpha and driverQueryProgress rely on when they concatenate
+// Drivers and InnerDrivers without dedup: no node ID ever appears in both
+// lists, nor twice across pipelines.
+//
+// Why it cannot happen, from the Decompose construction:
+//   - every node joins exactly one pipeline's Members and at most one
+//     pipeline's Sources (the walk visits each node once; only blocking
+//     nodes become Sources, of the single pipeline consuming their output);
+//   - only leaf Members and Sources are promoted to driver lists, and
+//     blocking operators always have children, so no node can be promoted
+//     both as a leaf-member and as a source;
+//   - the promotion routes each node by its single InnerSide[id] bit, so
+//     one node can never land in a Drivers list and an InnerDrivers list.
+//
+// The test verifies the conclusion over every crafted plan shape above plus
+// every TPC-H and TPC-DS workload plan (NL-inside-NL, blocking-on-inner,
+// spools, exchanges, bitmap plans, ...), so any future decomposition change
+// that breaks the assumption — and would silently double-count α terms —
+// fails here.
+func TestDriverSetsDisjointInvariant(t *testing.T) {
+	f := newFixture(t)
+	var plans []*plan.Plan
+
+	// Crafted shapes, including the trickiest combinations: a blocking
+	// operator on the inner side of a nested loop (its output phase becomes
+	// an InnerDriver via Sources) and nested loops inside nested loops.
+	p5, _ := fig5Plan(f)
+	plans = append(plans, p5)
+	{
+		b := f.b
+		outer := b.TableScan("dim", nil, nil)
+		innerSorted := b.Sort(b.SeekEq("fact", "ix_dim", []expr.Expr{expr.C(0, "dim.id")}, nil), []int{0}, nil)
+		nl := b.NestedLoopsNode(plan.LogicalInnerJoin, outer, innerSorted, nil)
+		plans = append(plans, plan.Finalize(b.HashAgg(nl, []int{0}, []expr.AggSpec{{Kind: expr.CountStar}})))
+	}
+	{
+		b := f.b
+		o1 := b.TableScan("dim", nil, nil)
+		i1 := b.SeekEq("fact", "ix_dim", []expr.Expr{expr.C(0, "dim.id")}, nil)
+		nlInner := b.NestedLoopsNode(plan.LogicalInnerJoin, o1, i1, nil)
+		o2 := b.TableScan("dim", nil, nil)
+		nl := b.NestedLoopsNode(plan.LogicalInnerJoin, o2, nlInner, nil)
+		plans = append(plans, plan.Finalize(b.ExchangeNode(nl, plan.GatherStreams)))
+	}
+	{
+		b := f.b
+		spooled := b.Spool(b.TableScan("dim", nil, nil), true)
+		nl := b.NestedLoopsNode(plan.LogicalInnerJoin, b.TableScan("fact", nil, nil), spooled, nil)
+		plans = append(plans, plan.Finalize(b.Sort(nl, []int{0}, nil)))
+	}
+
+	// Every plan of the benchmark workloads.
+	for _, w := range []*workload.Workload{
+		workload.TPCH(3, workload.TPCHRowstore),
+		workload.TPCH(3, workload.TPCHColumnstore),
+		workload.TPCDS(3),
+	} {
+		for _, q := range w.Queries {
+			plans = append(plans, plan.Finalize(q.Build(w.Builder())))
+		}
+	}
+
+	for pi, p := range plans {
+		d := Decompose(p)
+		seen := make(map[int]string) // node ID -> which list claimed it
+		claim := func(id int, list string) {
+			if prev, dup := seen[id]; dup {
+				t.Fatalf("plan %d: node %d in both %s and %s — driver sets double-count:\n%s\n%s",
+					pi, id, prev, list, d, p)
+			}
+			seen[id] = list
+		}
+		for _, pl := range d.Pipelines {
+			for _, id := range pl.Drivers {
+				claim(id, "Drivers")
+				if d.InnerSide[id] {
+					t.Fatalf("plan %d: inner-side node %d listed as a plain driver", pi, id)
+				}
+			}
+			for _, id := range pl.InnerDrivers {
+				claim(id, "InnerDrivers")
+				if !d.InnerSide[id] {
+					t.Fatalf("plan %d: outer-side node %d listed as an inner driver", pi, id)
+				}
+			}
+		}
 	}
 }
 

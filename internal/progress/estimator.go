@@ -162,6 +162,22 @@ func (e *Estimator) deriveN(snap *dmv.Snapshot, est *Estimate) {
 	process(e.Plan.Root)
 }
 
+// tableRowCount is the tolerant catalog lookup used throughout the monitor
+// path. A client may hold a catalog that predates or postdates the plan it
+// is watching (the table dropped, renamed, or simply absent from a stale
+// metadata cache); per the hardening contract the estimator must degrade —
+// fall back to optimizer estimates — never crash the monitor.
+func (e *Estimator) tableRowCount(name string) (float64, bool) {
+	if e.Cat == nil {
+		return 0, false
+	}
+	t := e.Cat.Table(name)
+	if t == nil {
+		return 0, false
+	}
+	return float64(t.RowCount), true
+}
+
 // knownLeafTotal returns the exactly-known total output of a leaf, or
 // (0, false) when the leaf's total is only an estimate. Plain scans of a
 // whole object are the canonical case (§3.1.1: "cardinalities of driver
@@ -172,7 +188,9 @@ func (e *Estimator) knownLeafTotal(n *plan.Node) (float64, bool) {
 		return float64(len(n.ConstRows)), true
 	case plan.TableScan, plan.ClusteredIndexScan, plan.IndexScan, plan.ColumnstoreIndexScan:
 		if n.Pred == nil && !n.HasStoragePred() {
-			return float64(e.Cat.MustTable(n.Table).RowCount), true
+			if size, ok := e.tableRowCount(n.Table); ok {
+				return size, true
+			}
 		}
 	}
 	return 0, false
@@ -370,6 +388,8 @@ func (e *Estimator) pipelineAlpha(snap *dmv.Snapshot, est *Estimate, pl *Pipelin
 	}
 	drivers := pl.Drivers
 	if e.Opt.SemiBlocking {
+		// Drivers and InnerDrivers are disjoint by construction — no α term
+		// is double-counted (pinned by TestDriverSetsDisjointInvariant).
 		drivers = append(append([]int{}, drivers...), pl.InnerDrivers...)
 	}
 	var num, den float64

@@ -4,6 +4,7 @@ import (
 	"math"
 	"testing"
 
+	"lqs/internal/engine/catalog"
 	"lqs/internal/engine/dmv"
 	"lqs/internal/engine/expr"
 	"lqs/internal/plan"
@@ -117,6 +118,53 @@ func TestMonotoneProgressAcrossStaleSnapshots(t *testing.T) {
 	raw := NewEstimator(p, f.cat, TGNOptions())
 	for _, snap := range sequence {
 		raw.Estimate(snap)
+	}
+}
+
+// TestEstimateToleratesStaleCatalog: a client can monitor a query while
+// holding a catalog that lacks the plan's tables (dropped, renamed, or a
+// stale metadata cache). Pre-fix, knownLeafTotal and ComputeBounds called
+// Cat.MustTable and panicked the monitor; now both degrade to optimizer
+// estimates / trivial bounds.
+func TestEstimateToleratesStaleCatalog(t *testing.T) {
+	f := newFixture(t)
+	p, tr := f.hardeningPlan(t)
+
+	for name, cat := range map[string]*catalog.Catalog{
+		"empty": catalog.NewCatalog(), // knows none of the plan's tables
+		"nil":   nil,
+	} {
+		e := NewEstimator(p, cat, LQSOptions())
+		for _, snap := range append(tr.Snapshots, tr.Final) {
+			est := e.Estimate(snap) // pre-fix: panics in MustTable
+			if est.Query < 0 || est.Query > 1 || math.IsNaN(est.Query) {
+				t.Fatalf("%s catalog: query progress %v", name, est.Query)
+			}
+			for id, v := range est.N {
+				if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+					t.Fatalf("%s catalog: node %d N̂ = %v", name, id, v)
+				}
+				// Degradation contract: with no table metadata the scan's
+				// N̂ falls back to the optimizer estimate (possibly
+				// clamped by the observation-only bounds).
+				n := p.Node(id)
+				if n.IsLeaf() && n.Physical == plan.TableScan && snap.Op(id).ActualRows == 0 {
+					if v != est.Bounds[id].Clamp(n.EstRows) {
+						t.Fatalf("%s catalog: unopened scan N̂ = %v, want EstRows fallback %v",
+							name, v, n.EstRows)
+					}
+				}
+			}
+			for id, b := range est.Bounds {
+				if k := float64(snap.Op(id).ActualRows); b.LB > k+0.5 && b.LB > 0 && k > 0 {
+					// Bounds must stay trivially true without metadata.
+					if b.LB > float64(tr.TrueRows[id]) {
+						t.Fatalf("%s catalog: node %d LB %v exceeds true N %d",
+							name, id, b.LB, tr.TrueRows[id])
+					}
+				}
+			}
+		}
 	}
 }
 

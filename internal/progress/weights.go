@@ -133,6 +133,8 @@ func (e *Estimator) driverQueryProgress(snap *dmv.Snapshot, est *Estimate) float
 	var num, den float64
 	drivers := e.Decomp.DriverNodes()
 	if e.Opt.SemiBlocking {
+		// Disjoint from DriverNodes() by construction, so the sum weights
+		// each node once (pinned by TestDriverSetsDisjointInvariant).
 		for _, pl := range e.Decomp.Pipelines {
 			drivers = append(drivers, pl.InnerDrivers...)
 		}

@@ -18,17 +18,42 @@ type Duration = time.Duration
 // poller takes its "every 500 ms" snapshots (paper §2.2) without any real
 // sleeping.
 //
+// Multiple observers may watch one clock concurrently (a DMV poller and a
+// monitoring session share the executing query's clock); each keeps its own
+// interval and fire schedule, and boundaries are delivered in virtual-time
+// order, with ties broken by registration order.
+//
 // Clock is not safe for concurrent use; the engine is a single-threaded
 // discrete-event simulation.
 type Clock struct {
-	now Duration
+	now       Duration
+	observers []*Observation
+}
 
-	// watermark-based observer: fires cb once for every multiple of
-	// interval that Advance crosses. A single observer is sufficient for
-	// the engine (the DMV poller); richer fan-out belongs in the poller.
+// Observation is the handle returned by Observe; Stop deregisters the
+// observer.
+type Observation struct {
+	clock    *Clock
 	interval Duration
 	nextFire Duration
 	cb       func(now Duration)
+}
+
+// Stop removes the observer from its clock. It is safe to call more than
+// once, on a nil handle, and from inside an observer callback.
+func (o *Observation) Stop() {
+	if o == nil || o.clock == nil {
+		return
+	}
+	c := o.clock
+	for i, x := range c.observers {
+		if x == o {
+			c.observers = append(c.observers[:i], c.observers[i+1:]...)
+			break
+		}
+	}
+	o.clock = nil
+	o.cb = nil
 }
 
 // NewClock returns a clock at time zero.
@@ -37,46 +62,68 @@ func NewClock() *Clock { return &Clock{} }
 // Now returns the current virtual time.
 func (c *Clock) Now() Duration { return c.now }
 
-// Advance moves the clock forward by d, firing the registered observer for
-// every sampling boundary crossed. Negative d panics: simulated time is
-// monotone.
+// Advance moves the clock forward by d, firing every registered observer for
+// every sampling boundary crossed, in boundary order (ties by registration
+// order). Negative d panics: simulated time is monotone.
 func (c *Clock) Advance(d Duration) {
 	if d < 0 {
 		panic(fmt.Sprintf("sim: clock moved backwards by %v", d))
 	}
 	c.now += d
-	if c.cb == nil {
-		return
-	}
-	for c.now >= c.nextFire {
-		at := c.nextFire
-		c.nextFire += c.interval
-		c.cb(at)
+	for {
+		// Earliest due boundary across observers; re-scanned every
+		// iteration so callbacks may Stop or Observe mid-delivery.
+		var next *Observation
+		for _, o := range c.observers {
+			if o.cb != nil && o.nextFire <= c.now && (next == nil || o.nextFire < next.nextFire) {
+				next = o
+			}
+		}
+		if next == nil {
+			return
+		}
+		at := next.nextFire
+		next.nextFire += next.interval
+		next.cb(at)
 	}
 }
 
 // Observe registers cb to fire every interval of virtual time, starting at
-// the first multiple of interval at or after the current time. Passing a
-// nil cb removes the observer. Only one observer is supported; registering
-// a second replaces the first.
-func (c *Clock) Observe(interval Duration, cb func(now Duration)) {
+// the first interval-grid boundary strictly after the current time (a clock
+// sitting exactly on a grid point fires at the *next* point: boundaries are
+// crossed by work, and no work has been charged yet at registration).
+// It returns a handle whose Stop method deregisters the observer; any
+// number of observers may be registered at once. Passing a nil cb removes
+// every observer (legacy detach-all) and returns nil.
+func (c *Clock) Observe(interval Duration, cb func(now Duration)) *Observation {
 	if cb == nil {
-		c.cb = nil
-		return
+		for _, o := range c.observers {
+			o.clock = nil
+			o.cb = nil
+		}
+		c.observers = nil
+		return nil
 	}
 	if interval <= 0 {
 		panic("sim: non-positive observe interval")
 	}
-	c.interval = interval
-	// First boundary strictly after now, aligned to the interval grid.
-	c.nextFire = (c.now/interval + 1) * interval
-	c.cb = cb
+	o := &Observation{
+		clock:    c,
+		interval: interval,
+		cb:       cb,
+		// First boundary strictly after now, aligned to the interval grid.
+		nextFire: (c.now/interval + 1) * interval,
+	}
+	c.observers = append(c.observers, o)
+	return o
 }
 
-// Reset returns the clock to time zero and clears any observer.
+// Reset returns the clock to time zero and clears all observers.
 func (c *Clock) Reset() {
 	c.now = 0
-	c.cb = nil
-	c.interval = 0
-	c.nextFire = 0
+	for _, o := range c.observers {
+		o.clock = nil
+		o.cb = nil
+	}
+	c.observers = nil
 }

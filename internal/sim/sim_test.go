@@ -198,6 +198,127 @@ func TestClockObserveAfterAdvance(t *testing.T) {
 	}
 }
 
+// TestClockMultipleObservers: two observers with different intervals share
+// one clock without clobbering each other, and boundaries are delivered in
+// virtual-time order (ties by registration order). Regression test for the
+// single-observer slot that made a Session.Monitor registration silently
+// detach an attached DMV poller sharing the clock.
+func TestClockMultipleObservers(t *testing.T) {
+	c := NewClock()
+	type fire struct {
+		who string
+		at  Duration
+	}
+	var fired []fire
+	a := c.Observe(time.Second, func(now Duration) { fired = append(fired, fire{"a", now}) })
+	b := c.Observe(1500*time.Millisecond, func(now Duration) { fired = append(fired, fire{"b", now}) })
+	if a == nil || b == nil {
+		t.Fatal("Observe returned nil handle")
+	}
+	c.Advance(3100 * time.Millisecond)
+	want := []fire{
+		{"a", time.Second},
+		{"b", 1500 * time.Millisecond},
+		{"a", 2 * time.Second},
+		{"a", 3 * time.Second}, // a's 3s boundary precedes b's 3s boundary: a registered first
+		{"b", 3 * time.Second},
+	}
+	if len(fired) != len(want) {
+		t.Fatalf("fired %v, want %v", fired, want)
+	}
+	for i := range want {
+		if fired[i] != want[i] {
+			t.Fatalf("fired[%d] = %v, want %v", i, fired[i], want[i])
+		}
+	}
+}
+
+// TestClockObservationStop: stopping one handle must leave the other
+// observers registered and firing.
+func TestClockObservationStop(t *testing.T) {
+	c := NewClock()
+	var aFired, bFired int
+	a := c.Observe(time.Second, func(Duration) { aFired++ })
+	b := c.Observe(time.Second, func(Duration) { bFired++ })
+	c.Advance(time.Second)
+	a.Stop()
+	a.Stop() // idempotent
+	(*Observation)(nil).Stop()
+	c.Advance(2 * time.Second)
+	if aFired != 1 || bFired != 3 {
+		t.Fatalf("aFired=%d bFired=%d after stopping a", aFired, bFired)
+	}
+	b.Stop()
+	c.Advance(time.Second)
+	if bFired != 3 {
+		t.Fatal("stopped observer fired")
+	}
+}
+
+// TestClockObserverStopsItselfMidDelivery: a callback may Stop its own
+// handle while boundaries are still being delivered.
+func TestClockObserverStopsItselfMidDelivery(t *testing.T) {
+	c := NewClock()
+	var obs *Observation
+	fired := 0
+	obs = c.Observe(time.Second, func(Duration) {
+		fired++
+		obs.Stop()
+	})
+	c.Advance(5 * time.Second)
+	if fired != 1 {
+		t.Fatalf("self-stopped observer fired %d times", fired)
+	}
+}
+
+// TestClockObserveOnGridBoundary pins the Observe contract: a clock sitting
+// exactly on an interval-grid point fires at the *next* grid point, not the
+// current one — boundaries are crossed by charged work, and none has been
+// charged yet at registration time. (The doc comment used to promise "at or
+// after the current time" while the code implemented strictly-after; the
+// strictly-after behavior is what every recorded trace depends on — a fire
+// at registration time would snapshot a query before it performed any work —
+// so the contract is pinned here and the doc now matches.)
+func TestClockObserveOnGridBoundary(t *testing.T) {
+	c := NewClock()
+	c.Advance(500 * time.Millisecond) // now sits exactly on the 500ms grid
+	var fired []Duration
+	c.Observe(500*time.Millisecond, func(now Duration) { fired = append(fired, now) })
+	c.Advance(1) // crosses no boundary: first fire must be at 1s, not 500ms
+	if len(fired) != 0 {
+		t.Fatalf("observer fired at registration-time boundary: %v", fired)
+	}
+	c.Advance(time.Second) // now 1.5s+1ns: boundaries at 1s and 1.5s
+	want := []Duration{time.Second, 1500 * time.Millisecond}
+	if len(fired) != len(want) || fired[0] != want[0] || fired[1] != want[1] {
+		t.Fatalf("fired %v, want %v", fired, want)
+	}
+
+	// Registration at t=0 (the grid origin) likewise does not fire at 0.
+	c2 := NewClock()
+	first := Duration(-1)
+	c2.Observe(time.Second, func(now Duration) {
+		if first < 0 {
+			first = now
+		}
+	})
+	c2.Advance(2500 * time.Millisecond)
+	if first != time.Second {
+		t.Fatalf("first fire at %v, want 1s (never at the t=0 origin)", first)
+	}
+}
+
+// TestClockObserveNilDetachesAll preserves the legacy detach-all contract.
+func TestClockObserveNilDetachesAll(t *testing.T) {
+	c := NewClock()
+	c.Observe(time.Second, func(Duration) { t.Fatal("observer survived nil detach") })
+	c.Observe(2*time.Second, func(Duration) { t.Fatal("observer survived nil detach") })
+	if h := c.Observe(time.Second, nil); h != nil {
+		t.Fatal("nil-cb Observe returned a handle")
+	}
+	c.Advance(5 * time.Second)
+}
+
 func TestClockNegativeAdvancePanics(t *testing.T) {
 	defer func() {
 		if recover() == nil {

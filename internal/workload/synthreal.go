@@ -158,6 +158,7 @@ func Synth(cfg SynthConfig) *Workload {
 			},
 		})
 	}
+	w.Gen = func() *Workload { return Synth(cfg) }
 	return w
 }
 

@@ -96,7 +96,9 @@ func TPCDS(seed uint64) *Workload {
 		f(db)
 	}
 	db.BuildAllStats(histogramBuckets)
-	return &Workload{Name: "TPC-DS", DB: db, Queries: tpcdsQueries()}
+	w := &Workload{Name: "TPC-DS", DB: db, Queries: tpcdsQueries()}
+	w.Gen = func() *Workload { return TPCDS(seed) }
+	return w
 }
 
 func addTPCDSIndexes(t *catalog.Table) {

@@ -122,6 +122,7 @@ func TPCH(seed uint64, design TPCHDesign) *Workload {
 	} else {
 		w.Queries = tpchRowstoreQueries()
 	}
+	w.Gen = func() *Workload { return TPCH(seed, design) }
 	return w
 }
 

@@ -36,6 +36,14 @@ type Workload struct {
 	Name    string
 	DB      *storage.Database
 	Queries []Query
+
+	// Gen regenerates an independent, identical copy of this workload
+	// (same seed, fresh Database). Workload construction is a pure
+	// function of its seed, so a copy's traces are byte-identical to the
+	// original's; the parallel harness relies on this to give every
+	// worker a private database instead of sharing mutable engine state.
+	// Nil for hand-assembled workloads, which therefore run serially.
+	Gen func() *Workload
 }
 
 // Builder returns a plan builder over the workload's catalog.
