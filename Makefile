@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all vet build test race bench ci
+.PHONY: all vet build test race bench trace-smoke ci
 
 all: ci
 
@@ -17,11 +17,21 @@ test:
 # cross-goroutine snapshot capture, the buffer-pool latch, and the
 # parallel tracing harness (worker pool + ordered merge).
 race:
-	$(GO) test -race ./internal/lqs/... ./internal/engine/dmv/... ./internal/metrics/...
+	$(GO) test -race ./internal/lqs/... ./internal/engine/dmv/... ./internal/metrics/... ./internal/trace/... ./internal/obs/...
 
 # Quick-mode suite with parallel tracing; machine-readable timings (with
 # speedup vs a serial reference pass) land in bench.json.
 bench:
 	$(GO) run ./cmd/lqsbench -parallel 0 -bench-json bench.json
 
-ci: vet build test race
+# Tiny tracing smoke test: run a few queries with event tracing on, emit
+# Chrome trace-event JSON, and validate it against the schema (ValidateChrome
+# runs inside lqsbench before each file is written; the python step checks
+# the files parse as the JSON-object trace format Perfetto expects).
+trace-smoke:
+	rm -rf .trace-smoke && $(GO) run ./cmd/lqsbench -run none -trace-dir .trace-smoke -trace-limit 2
+	$(GO) run ./cmd/lqsmon -plain -explain -interval 5ms -q Q1 > /dev/null
+	@ls .trace-smoke/*.trace.json .trace-smoke/*.explain.txt > /dev/null
+	@rm -rf .trace-smoke && echo "trace-smoke: OK"
+
+ci: vet build test race trace-smoke

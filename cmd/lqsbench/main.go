@@ -11,8 +11,14 @@
 //	lqsbench -bench-json -   # machine-readable timings on stdout
 //	lqsbench -list           # list experiment IDs
 //
+//	lqsbench -run none -trace-dir out   # per-query Chrome traces + explains
+//	lqsbench -metrics                   # dump the metrics registry at exit
+//
 // Output is byte-identical at every -parallel setting: workers trace
 // against private regenerated workloads and results merge in query order.
+// That extends to -trace-dir: the emitted trace files carry virtual
+// timestamps only, so they are byte-identical across serial and parallel
+// runs of the same seed.
 package main
 
 import (
@@ -20,12 +26,18 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 	"strings"
 	"time"
 
+	"lqs/internal/engine/dmv"
 	"lqs/internal/experiments"
 	"lqs/internal/metrics"
+	"lqs/internal/obs"
+	"lqs/internal/progress"
+	"lqs/internal/trace"
+	"lqs/internal/workload"
 )
 
 // phaseBench is one experiment's timing record in the -bench-json report.
@@ -57,6 +69,10 @@ func main() {
 		list     = flag.Bool("list", false, "list experiment IDs and exit")
 		parallel = flag.Int("parallel", 1, "tracing workers: 1 = serial, 0 = GOMAXPROCS")
 		benchOut = flag.String("bench-json", "", "write machine-readable timings to this file ('-' = stdout); parallel runs add a serial reference pass for speedup")
+		traceDir = flag.String("trace-dir", "", "emit per-query Chrome trace-event JSON and estimator explains into this directory")
+		traceWl  = flag.String("trace-workload", "tpch", "workload to trace for -trace-dir: tpch, tpch-cs, tpcds, real1, real2, real3")
+		traceLim = flag.Int("trace-limit", 4, "queries to trace for -trace-dir (0 = all)")
+		dumpObs  = flag.Bool("metrics", false, "dump the metrics registry (pool counters, estimator-error histograms) on exit")
 	)
 	flag.Parse()
 
@@ -69,8 +85,20 @@ func main() {
 
 	suite := experiments.NewSuite(experiments.Config{Seed: *seed, Quick: !*full, Parallel: *parallel})
 	ids := experiments.IDs()
-	if !strings.EqualFold(*run, "all") {
+	if strings.EqualFold(*run, "none") {
+		ids = nil
+	} else if !strings.EqualFold(*run, "all") {
 		ids = strings.Split(*run, ",")
+	}
+
+	if *traceDir != "" {
+		if err := emitTraces(*traceDir, *traceWl, *seed, *traceLim, *parallel); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	if *dumpObs {
+		defer func() { fmt.Print(obs.Default().Dump()) }()
 	}
 
 	workers := *parallel
@@ -133,4 +161,86 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+}
+
+// workloadByName builds the named workload at the given seed.
+func workloadByName(name string, seed uint64) (*workload.Workload, error) {
+	switch strings.ToLower(name) {
+	case "tpch":
+		return workload.TPCH(seed, workload.TPCHRowstore), nil
+	case "tpch-cs":
+		return workload.TPCH(seed, workload.TPCHColumnstore), nil
+	case "tpcds":
+		return workload.TPCDS(seed), nil
+	case "real1":
+		return workload.REAL1(seed), nil
+	case "real2":
+		return workload.REAL2(seed), nil
+	case "real3":
+		return workload.REAL3(seed), nil
+	}
+	return nil, fmt.Errorf("unknown workload %q", name)
+}
+
+// emitTraces runs the workload with event tracing on and writes, per query,
+// a validated Chrome trace-event file (<workload>-<query>.trace.json, opens
+// directly in Perfetto) and the estimator's mid-query decomposition
+// (<workload>-<query>.explain.txt). Estimator-error and pool metrics feed
+// the default metrics registry for -metrics.
+func emitTraces(dir, wname string, seed uint64, limit, parallel int) error {
+	w, err := workloadByName(wname, seed)
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	reg := obs.Default()
+	errHist := reg.Histogram("estimator/error_count/"+w.Name, nil)
+	r := metrics.Runner{Limit: limit, Parallel: parallel, EventCap: -1}
+	pid := 0
+	var files int
+	r.ForEachArtifacts(w, func(a metrics.TraceArtifacts) {
+		if err != nil {
+			return
+		}
+		base := filepath.Join(dir, fmt.Sprintf("%s-%s", w.Name, a.Query.Name))
+		data, cerr := trace.Chrome(a.Events, w.Name+" "+a.Query.Name, pid)
+		pid++
+		if cerr == nil {
+			cerr = trace.ValidateChrome(data)
+		}
+		if cerr == nil {
+			cerr = os.WriteFile(base+".trace.json", data, 0o644)
+		}
+		if cerr != nil {
+			err = fmt.Errorf("%s: %w", a.Query.Name, cerr)
+			return
+		}
+		err = os.WriteFile(base+".explain.txt", []byte(midExplain(w, a)), 0o644)
+		if ec, ok := metrics.ErrorCount(a.Plan, a.Trace, w, progress.LQSOptions()); ok {
+			errHist.Observe(ec)
+		}
+		files += 2
+	})
+	if err != nil {
+		return err
+	}
+	w.DB.Pool.Publish(reg)
+	fmt.Printf("wrote %d trace artifacts for %s to %s\n\n", files, w.Name, dir)
+	return nil
+}
+
+// midExplain replays a query's DMV trace to its midpoint and renders the
+// estimator decomposition there — the most informative single frame, with
+// refinement underway but the query not yet done.
+func midExplain(w *workload.Workload, a metrics.TraceArtifacts) string {
+	est := progress.NewEstimator(a.Plan, w.DB.Catalog, progress.LQSOptions())
+	snaps := append(append([]*dmv.Snapshot(nil), a.Trace.Snapshots...), a.Trace.Final)
+	mid := len(snaps) / 2
+	for _, s := range snaps[:mid] {
+		est.Estimate(s)
+	}
+	x, _ := est.Explain(snaps[mid])
+	return x.Render()
 }

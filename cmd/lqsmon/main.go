@@ -9,6 +9,7 @@
 //	lqsmon -workload tpcds -q Q21  # a specific query
 //	lqsmon -interval 2ms -plain    # coarser polling, no screen clearing
 //	lqsmon -deadline 50ms          # abort at a virtual-time deadline
+//	lqsmon -explain                # per-operator estimate decomposition
 //	lqsmon -list                   # list available queries
 package main
 
@@ -19,6 +20,7 @@ import (
 	"strings"
 	"time"
 
+	"lqs/internal/engine/exec"
 	"lqs/internal/lqs"
 	"lqs/internal/progress"
 	"lqs/internal/workload"
@@ -31,6 +33,7 @@ func main() {
 		interval = flag.Duration("interval", time.Millisecond, "virtual poll interval")
 		deadline = flag.Duration("deadline", 0, "virtual-time deadline; 0 means none")
 		plain    = flag.Bool("plain", false, "append frames instead of redrawing in place")
+		explain  = flag.Bool("explain", false, "render the estimator's per-operator decomposition under each frame")
 		seed     = flag.Uint64("seed", 42, "workload seed")
 		list     = flag.Bool("list", false, "list query names and exit")
 	)
@@ -78,22 +81,37 @@ func main() {
 		s.Query.Ctx.Deadline = *deadline
 	}
 	frames := 0
-	var last *lqs.QuerySnapshot
-	rows, err := s.Monitor(*interval, func(q *lqs.QuerySnapshot) {
+	frame := func(q *lqs.QuerySnapshot) {
 		frames++
-		last = q
 		if !*plain {
 			fmt.Print("\033[H\033[2J") // clear screen, home cursor
 		}
 		fmt.Printf("%s %s  (virtual poll every %v)\n\n", w.Name, query.Name, *interval)
 		fmt.Print(s.Render(q))
-		if !*plain {
+		if *explain {
+			fmt.Println()
+			fmt.Print(s.Explain().Render())
+		}
+		if !*plain && q.State == exec.StateRunning {
 			time.Sleep(40 * time.Millisecond) // pace the animation for humans
 		}
+	}
+	rows, err := s.Monitor(*interval, func(q *lqs.QuerySnapshot) {
+		// Terminal states render below, from the flight recorder.
+		if q.State == exec.StateRunning {
+			frame(q)
+		}
 	})
+	// The query may have reached its terminal state between polls — or
+	// before the first one — so the closing frame comes from the session
+	// flight recorder, which always retains the final snapshot, rather
+	// than from whatever the live callback happened to see.
+	if last := s.Last(); last != nil {
+		frame(last)
+	}
 	if err != nil {
 		fmt.Printf("\nquery %s after %d rows in %v virtual time (%d frames): %v\n",
-			last.State, rows, s.Query.Ctx.Clock.Now(), frames, err)
+			s.State(), rows, s.Query.Ctx.Clock.Now(), frames, err)
 		os.Exit(1)
 	}
 	fmt.Printf("\nquery returned %d rows in %v virtual time (%d frames)\n",

@@ -13,6 +13,7 @@ package dmv
 
 import (
 	"lqs/internal/engine/exec"
+	"lqs/internal/obs"
 	"lqs/internal/plan"
 	"lqs/internal/sim"
 )
@@ -77,6 +78,21 @@ func (s *Snapshot) Op(id int) *OpProfile {
 	return &s.Ops[id]
 }
 
+// NodeProfiles adapts the snapshot into the plan package's annotation
+// profiles (indexed by node ID), for plan.ExplainWithProfile.
+func (s *Snapshot) NodeProfiles() []plan.NodeProfile {
+	out := make([]plan.NodeProfile, len(s.Ops))
+	for i, op := range s.Ops {
+		out[i] = plan.NodeProfile{
+			ActualRows: op.ActualRows,
+			Rebinds:    op.Rebinds,
+			Opened:     op.Opened,
+			Closed:     op.Closed,
+		}
+	}
+	return out
+}
+
 // Capture snapshots a query's counters right now.
 func Capture(q *exec.Query) *Snapshot {
 	snap := &Snapshot{At: q.Ctx.Clock.Now(), Ops: make([]OpProfile, len(q.Plan.Nodes))}
@@ -137,6 +153,9 @@ type Trace struct {
 	TrueRows []int64
 	// Final is the snapshot at completion.
 	Final *Snapshot
+	// DroppedSnapshots counts polls discarded by the flight-recorder cap
+	// (SetHistoryCap); the retained Snapshots are the most recent ones.
+	DroppedSnapshots int64
 }
 
 // Poller samples registered queries on a fixed virtual-time interval,
@@ -147,6 +166,13 @@ type Poller struct {
 	queries  []*exec.Query
 	traces   map[*exec.Query]*Trace
 	obs      *sim.Observation
+	// historyCap, when positive, turns each trace into a flight recorder:
+	// only the most recent historyCap snapshots are retained and older ones
+	// are counted in Trace.DroppedSnapshots. Zero retains everything (the
+	// experiment-harness default, which replays full traces).
+	historyCap int
+	// metrics, when non-nil, receives poll-tick and snapshot counters.
+	metrics *obs.Registry
 }
 
 // NewPoller attaches a poller to the clock at the given interval. The
@@ -162,6 +188,44 @@ func NewPoller(clock *sim.Clock, interval sim.Duration) *Poller {
 // readable via Finish. Safe to call more than once.
 func (p *Poller) Detach() { p.obs.Stop() }
 
+// SetHistoryCap bounds the number of retained snapshots per query (the
+// flight recorder). n <= 0 restores unlimited retention. Lowering the cap
+// trims existing traces immediately.
+func (p *Poller) SetHistoryCap(n int) {
+	p.historyCap = n
+	if n > 0 {
+		for _, tr := range p.traces {
+			p.trim(tr)
+		}
+	}
+}
+
+// SetMetrics attaches an observability registry; each poll tick and each
+// captured snapshot is counted under the dmv/ namespace. Nil detaches.
+func (p *Poller) SetMetrics(reg *obs.Registry) { p.metrics = reg }
+
+// trim enforces the flight-recorder cap on one trace.
+func (p *Poller) trim(tr *Trace) {
+	if p.historyCap <= 0 || len(tr.Snapshots) <= p.historyCap {
+		return
+	}
+	over := len(tr.Snapshots) - p.historyCap
+	tr.Snapshots = append(tr.Snapshots[:0:0], tr.Snapshots[over:]...)
+	tr.DroppedSnapshots += int64(over)
+}
+
+// History returns the retained snapshots for a query, oldest first, along
+// with the count of snapshots the flight recorder discarded. It remains
+// queryable after the query completes — the point of a flight recorder.
+// An unregistered query yields (nil, 0).
+func (p *Poller) History(q *exec.Query) ([]*Snapshot, int64) {
+	tr := p.traces[q]
+	if tr == nil {
+		return nil, 0
+	}
+	return tr.Snapshots, tr.DroppedSnapshots
+}
+
 // Register adds a query to the poll set.
 func (p *Poller) Register(q *exec.Query) {
 	p.queries = append(p.queries, q)
@@ -174,6 +238,7 @@ func (p *Poller) Register(q *exec.Query) {
 // its own time — exactly what a wall-clock poller sees when an operator is
 // busy producing nothing.
 func (p *Poller) sample(at sim.Duration) {
+	p.metrics.Counter("dmv/poll_ticks").Inc()
 	for _, q := range p.queries {
 		if _, started := q.Started(); !started || q.Done() {
 			continue
@@ -182,6 +247,8 @@ func (p *Poller) sample(at sim.Duration) {
 		snap := Capture(q)
 		snap.At = at
 		tr.Snapshots = append(tr.Snapshots, snap)
+		p.trim(tr)
+		p.metrics.Counter("dmv/snapshots").Inc()
 	}
 }
 

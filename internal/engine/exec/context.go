@@ -15,6 +15,7 @@ import (
 	"lqs/internal/opt"
 	"lqs/internal/plan"
 	"lqs/internal/sim"
+	"lqs/internal/trace"
 )
 
 // Counters is the per-operator instrumentation, mirroring the columns of
@@ -100,6 +101,15 @@ type Ctx struct {
 	// KindDeadline QueryError once the clock reaches it. Zero disables.
 	// Set it before the query starts stepping.
 	Deadline sim.Duration
+
+	// Trace, when non-nil, receives structured operator lifecycle events
+	// (open/close, row batches, spills, degradations, state transitions)
+	// stamped with virtual time. Nil disables tracing at zero cost: the
+	// only residue in the per-row hot loop is a nil check on the pointer
+	// each operator caches at Open (pinned by BenchmarkQueryExecution).
+	// Set it before the query starts stepping; the recorder must be backed
+	// by the query's own clock.
+	Trace *trace.Recorder
 
 	// MemGrantRows is the simulated memory grant, in buffered rows, shared
 	// by the query's blocking operators. Non-spillable operators (hash
@@ -253,6 +263,9 @@ func (ctx *Ctx) chargeIO(c *Counters, io storage.IOCounts) {
 	c.PhysicalReads += io.Physical
 	c.IORetries += io.Retries
 	c.LastActive = ctx.Clock.Now()
+	if ctx.Trace != nil && io.Retries > 0 {
+		ctx.Trace.Record(trace.KindIORetry, c.NodeID, "", io.Retries)
+	}
 	ctx.failOnIOFault(c, io)
 	ctx.checkpoint(c)
 }
@@ -272,6 +285,9 @@ func (ctx *Ctx) chargeSegments(c *Counters, n int64, io storage.IOCounts) {
 	c.PhysicalReads += io.Physical
 	c.IORetries += io.Retries
 	c.LastActive = ctx.Clock.Now()
+	if ctx.Trace != nil && io.Retries > 0 {
+		ctx.Trace.Record(trace.KindIORetry, c.NodeID, "", io.Retries)
+	}
 	ctx.failOnIOFault(c, io)
 	ctx.checkpoint(c)
 }

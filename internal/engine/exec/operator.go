@@ -5,6 +5,7 @@ import (
 
 	"lqs/internal/engine/types"
 	"lqs/internal/plan"
+	"lqs/internal/trace"
 )
 
 // Operator is the demand-driven iterator interface (Open/GetNext/Close of
@@ -32,6 +33,9 @@ type Operator interface {
 type base struct {
 	node *plan.Node
 	c    Counters
+	// tr caches ctx.Trace at first Open so the per-row emit path pays one
+	// nil check when tracing is disabled (the zero-cost contract).
+	tr *trace.Recorder
 }
 
 func (b *base) init(n *plan.Node) {
@@ -48,10 +52,17 @@ func (b *base) init(n *plan.Node) {
 func (b *base) Counters() *Counters { return &b.c }
 
 // opened marks the operator open (first call only) and stamps the time.
+// The first open also emits the operator's trace-track Open event (rebinds
+// deliberately do not: an inner-side operator re-opening once per outer
+// row would flood the ring with no added signal).
 func (b *base) opened(ctx *Ctx) {
 	if !b.c.Opened {
 		b.c.Opened = true
 		b.c.OpenedAt = ctx.Clock.Now()
+		if ctx.Trace != nil {
+			b.tr = ctx.Trace
+			b.tr.Record(trace.KindOpen, b.c.NodeID, b.c.Physical.String(), 0)
+		}
 	}
 	b.c.Rebinds++
 }
@@ -61,11 +72,19 @@ func (b *base) closed(ctx *Ctx) {
 	if !b.c.Closed {
 		b.c.Closed = true
 		b.c.ClosedAt = ctx.Clock.Now()
+		if b.tr != nil {
+			b.tr.Record(trace.KindClose, b.c.NodeID, "", b.c.Rows)
+		}
 	}
 }
 
 // emit counts an output row.
-func (b *base) emit() { b.c.Rows++ }
+func (b *base) emit() {
+	b.c.Rows++
+	if b.tr != nil {
+		b.tr.RowBatch(b.c.NodeID, b.c.Rows)
+	}
+}
 
 // BuildOperator constructs the operator tree for a finalized, estimated
 // plan. The ctx must be the one later used to run the query (bitmap

@@ -9,6 +9,7 @@ import (
 	"lqs/internal/opt"
 	"lqs/internal/plan"
 	"lqs/internal/sim"
+	"lqs/internal/trace"
 )
 
 // Query is one executing query: a plan, its operator tree, and the
@@ -157,6 +158,14 @@ func (q *Query) fail(qe *QueryError) {
 	}
 	q.state.Store(int32(qe.State()))
 	q.ended.Store(int64(q.Ctx.Clock.Now()))
+	q.traceState(qe.State())
+}
+
+// traceState records a lifecycle transition on the query's trace track.
+func (q *Query) traceState(s QueryState) {
+	if q.Ctx.Trace != nil {
+		q.Ctx.Trace.Record(trace.KindState, -1, s.String(), 0)
+	}
 }
 
 // recoverStep is the panic-to-error boundary: any panic escaping operator
@@ -189,6 +198,7 @@ func (q *Query) open() {
 	}
 	q.state.Store(int32(StateRunning))
 	q.started.Store(int64(q.Ctx.Clock.Now()))
+	q.traceState(StateRunning)
 	q.Root.Open(q.Ctx)
 }
 
@@ -197,6 +207,7 @@ func (q *Query) finish() {
 	q.Root.Close(q.Ctx)
 	q.state.Store(int32(StateSucceeded))
 	q.ended.Store(int64(q.Ctx.Clock.Now()))
+	q.traceState(StateSucceeded)
 }
 
 // Step advances execution by up to n result rows. It returns (true, nil)

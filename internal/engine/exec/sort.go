@@ -6,6 +6,7 @@ import (
 
 	"lqs/internal/engine/types"
 	"lqs/internal/plan"
+	"lqs/internal/trace"
 )
 
 // sortOp is the blocking Sort (and Distinct Sort) operator: Open consumes
@@ -51,6 +52,9 @@ func (s *sortOp) fill(ctx *Ctx) {
 		ctx.chargeCPU(&s.c, ctx.CM.CPUTuple+ctx.CM.SortRowCPU(float64(len(s.rows)+2)))
 		s.c.InputRows++
 		if !ctx.reserveMem(&s.c, 1, true) {
+			if !s.overBudget && ctx.Trace != nil {
+				ctx.Trace.Record(trace.KindMemDegrade, s.c.NodeID, "sort exceeds grant: degrading to external sort", 0)
+			}
 			s.overBudget = true
 		}
 		s.rows = append(s.rows, row)
@@ -87,6 +91,9 @@ func (s *sortOp) spillMerge(ctx *Ctx) {
 	}
 	total := int64(passes) * int64(len(s.rows))
 	s.c.InternalTotal = total
+	if ctx.Trace != nil {
+		ctx.Trace.Record(trace.KindSpillBegin, s.c.NodeID, "external merge", total)
+	}
 	perRow := ctx.CM.SpillIOPerRow + ctx.CM.CPUSortCompare
 	const chunk = 512
 	for done := int64(0); done < total; done += chunk {
@@ -96,6 +103,9 @@ func (s *sortOp) spillMerge(ctx *Ctx) {
 		}
 		ctx.chargeCPU(&s.c, float64(n)*perRow)
 		s.c.InternalDone = done + n
+	}
+	if ctx.Trace != nil {
+		ctx.Trace.Record(trace.KindSpillEnd, s.c.NodeID, "", total)
 	}
 }
 

@@ -3,6 +3,7 @@ package exec
 import (
 	"lqs/internal/engine/types"
 	"lqs/internal/plan"
+	"lqs/internal/trace"
 )
 
 // spool caches its child's rows and replays them on rewind, so the child
@@ -27,6 +28,9 @@ type spool struct {
 // the cache exceeds the memory grant.
 func (s *spool) cacheRow(ctx *Ctx, row types.Row) {
 	if !s.overBudget && !ctx.reserveMem(&s.c, 1, true) {
+		if ctx.Trace != nil {
+			ctx.Trace.Record(trace.KindMemDegrade, s.c.NodeID, "spool exceeds grant: writing through to worktable", 0)
+		}
 		s.overBudget = true
 	}
 	if s.overBudget {

@@ -10,6 +10,8 @@ package storage
 import (
 	"container/list"
 	"sync"
+
+	"lqs/internal/obs"
 )
 
 // PageSize is the simulated page size in bytes, matching SQL Server's 8 KB
@@ -59,13 +61,16 @@ func (c *IOCounts) Add(other IOCounts) {
 // deterministic for a given seed as long as one query drives the pool at a
 // time — the discrete-event engine's single-threaded-per-query model.
 type BufferPool struct {
-	mu       sync.Mutex
-	capacity int
-	lru      *list.List               // front = most recent
-	pages    map[PageID]*list.Element // value: PageID
-	hits     int64
-	misses   int64
-	faults   *FaultInjector
+	mu        sync.Mutex
+	capacity  int
+	lru       *list.List               // front = most recent
+	pages     map[PageID]*list.Element // value: PageID
+	hits      int64
+	misses    int64
+	evictions int64
+	retries   int64
+	pageFault int64
+	faults    *FaultInjector
 }
 
 // NewBufferPool returns a pool caching up to capacity pages.
@@ -101,6 +106,7 @@ func (bp *BufferPool) access(pid PageID) (physical bool) {
 		victim := bp.lru.Back()
 		bp.lru.Remove(victim)
 		delete(bp.pages, victim.Value.(PageID))
+		bp.evictions++
 	}
 	return true
 }
@@ -139,8 +145,47 @@ func (bp *BufferPool) Read(pid PageID, io *IOCounts) {
 	retries, permanent := bp.faults.onPhysicalRead()
 	io.Retries += retries
 	io.Physical += retries // each retry re-issues the read
+	bp.retries += retries
 	if permanent {
 		io.Faults++
+		bp.pageFault++
+	}
+}
+
+// PoolStats is a point-in-time snapshot of the pool's cumulative activity
+// counters, the pool-level analogue of sys.dm_os_buffer_descriptors
+// aggregates.
+type PoolStats struct {
+	Hits      int64 // logical reads served from cache
+	Misses    int64 // logical reads that went physical
+	Evictions int64 // LRU victims pushed out by capacity pressure
+	Retries   int64 // transient-fault retries absorbed on physical reads
+	Faults    int64 // permanent page-read failures surfaced to queries
+	Resident  int64 // pages currently cached
+	Capacity  int64 // configured cache capacity in pages
+}
+
+// HitRatio is hits / (hits+misses), or 0 before any access.
+func (s PoolStats) HitRatio() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// StatsSnapshot returns the pool's cumulative counters.
+func (bp *BufferPool) StatsSnapshot() PoolStats {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	return PoolStats{
+		Hits:      bp.hits,
+		Misses:    bp.misses,
+		Evictions: bp.evictions,
+		Retries:   bp.retries,
+		Faults:    bp.pageFault,
+		Resident:  int64(bp.lru.Len()),
+		Capacity:  int64(bp.capacity),
 	}
 }
 
@@ -149,6 +194,23 @@ func (bp *BufferPool) Stats() (hits, misses int64) {
 	bp.mu.Lock()
 	defer bp.mu.Unlock()
 	return bp.hits, bp.misses
+}
+
+// Publish copies the pool's cumulative counters into gauges on reg under
+// the bufferpool/ namespace. Call it whenever a fresh reading is wanted
+// (e.g. after a workload run); it is a point-in-time export, not a live
+// binding. A nil registry is a no-op.
+func (bp *BufferPool) Publish(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	s := bp.StatsSnapshot()
+	reg.Gauge("bufferpool/hits").Set(s.Hits)
+	reg.Gauge("bufferpool/misses").Set(s.Misses)
+	reg.Gauge("bufferpool/evictions").Set(s.Evictions)
+	reg.Gauge("bufferpool/retries").Set(s.Retries)
+	reg.Gauge("bufferpool/faults").Set(s.Faults)
+	reg.Gauge("bufferpool/resident_pages").Set(s.Resident)
 }
 
 // Resident reports the number of cached pages (for tests).

@@ -1,0 +1,141 @@
+package lqs
+
+import (
+	"testing"
+	"time"
+
+	"lqs/internal/engine/exec"
+	"lqs/internal/obs"
+	"lqs/internal/progress"
+)
+
+// TestMonitorTerminalFrameBetweenPolls is the regression test for the
+// blank-table bug: a query whose entire runtime fits inside one poll
+// interval produces zero Running-state frames, so a display built only
+// from live callbacks had nothing to show. The flight recorder must still
+// hold a complete terminal snapshot.
+func TestMonitorTerminalFrameBetweenPolls(t *testing.T) {
+	db := testDB(t)
+	s := Start(db, testPlan(db), progress.LQSOptions())
+	running := 0
+	rows, err := s.Monitor(time.Hour, func(q *QuerySnapshot) {
+		if q.State == exec.StateRunning {
+			running++
+		}
+	})
+	if err != nil {
+		t.Fatalf("monitor: %v", err)
+	}
+	if running != 0 {
+		t.Fatalf("hour-long poll interval delivered %d running frames", running)
+	}
+	last := s.Last()
+	if last == nil {
+		t.Fatal("flight recorder empty after the query finished between polls")
+	}
+	if last.State != exec.StateSucceeded || last.Progress < 0.99 {
+		t.Fatalf("terminal frame state=%v progress=%v", last.State, last.Progress)
+	}
+	// The frame is a full table, not a blank one: every operator is done
+	// with its real row counts.
+	for _, op := range last.Ops {
+		if !op.Done {
+			t.Fatalf("terminal frame shows %s unfinished", op.Name)
+		}
+	}
+	if last.Ops[2].RowsSoFar != 8000 || rows != 16 {
+		t.Fatalf("terminal frame rows: scan=%d returned=%d", last.Ops[2].RowsSoFar, rows)
+	}
+}
+
+func TestSessionFlightRecorderRetainsCurve(t *testing.T) {
+	db := testDB(t)
+	s := Start(db, testPlan(db), progress.LQSOptions())
+	frames := 0
+	if _, err := s.Monitor(100*time.Microsecond, func(*QuerySnapshot) { frames++ }); err != nil {
+		t.Fatalf("monitor: %v", err)
+	}
+	hist, dropped := s.History()
+	if len(hist)+int(dropped) != frames {
+		t.Fatalf("recorder holds %d + %d dropped, monitor delivered %d", len(hist), dropped, frames)
+	}
+	for i := 1; i < len(hist); i++ {
+		if hist[i].At < hist[i-1].At {
+			t.Fatalf("history out of order at %d: %v after %v", i, hist[i].At, hist[i-1].At)
+		}
+		if hist[i].Progress+1e-9 < hist[i-1].Progress {
+			t.Fatalf("progress curve regressed at %d: %v after %v", i, hist[i].Progress, hist[i-1].Progress)
+		}
+	}
+	if last := s.Last(); last != hist[len(hist)-1] {
+		t.Fatal("Last() disagrees with History()")
+	}
+}
+
+func TestSessionFlightRecorderCap(t *testing.T) {
+	db := testDB(t)
+	s := Start(db, testPlan(db), progress.LQSOptions())
+	s.SetHistoryCap(3)
+	var all []*QuerySnapshot
+	if _, err := s.Monitor(100*time.Microsecond, func(q *QuerySnapshot) { all = append(all, q) }); err != nil {
+		t.Fatalf("monitor: %v", err)
+	}
+	if len(all) <= 3 {
+		t.Skipf("only %d frames; cannot exercise the cap", len(all))
+	}
+	hist, dropped := s.History()
+	if len(hist) != 3 {
+		t.Fatalf("retained %d snapshots, want 3", len(hist))
+	}
+	if want := int64(len(all) - 3); dropped != want {
+		t.Fatalf("dropped %d, want %d", dropped, want)
+	}
+	// Newest retained; a retroactive lower cap trims further.
+	if hist[2] != all[len(all)-1] {
+		t.Fatal("cap did not keep the newest snapshot")
+	}
+	s.SetHistoryCap(1)
+	hist, _ = s.History()
+	if len(hist) != 1 || hist[0] != all[len(all)-1] {
+		t.Fatal("retroactive trim did not keep only the newest snapshot")
+	}
+}
+
+func TestSessionExplainMatchesSnapshot(t *testing.T) {
+	db := testDB(t)
+	s := Start(db, testPlan(db), progress.LQSOptions())
+	s.Step(1)
+	snap := s.Snapshot()
+	x := s.Explain()
+	if x.Query != snap.Progress {
+		t.Fatalf("explain query %v != snapshot progress %v", x.Query, snap.Progress)
+	}
+	var sum float64
+	for _, term := range x.Terms {
+		sum += term.Contribution
+	}
+	if d := sum - x.RawQuery; d > 1e-9 || d < -1e-9 {
+		t.Fatalf("Σ contributions %v != raw %v", sum, x.RawQuery)
+	}
+}
+
+func TestRegistryOccupancyMetrics(t *testing.T) {
+	db := testDB(t)
+	reg := obs.NewRegistry()
+	r := NewQueryRegistry()
+	r.SetMetrics(reg)
+	id1 := r.Launch("a", Start(db, testPlan(db), progress.LQSOptions()))
+	id2 := r.Launch("b", Start(db, testPlan(db), progress.LQSOptions()))
+	if _, err := r.Wait(id1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Wait(id2); err != nil {
+		t.Fatal(err)
+	}
+	if n := reg.Counter("lqs/queries_launched").Value(); n != 2 {
+		t.Fatalf("launched counter %d", n)
+	}
+	if n := reg.Gauge("lqs/registry_active").Value(); n != 0 {
+		t.Fatalf("active gauge %d after both queries finished", n)
+	}
+}

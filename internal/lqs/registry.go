@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"lqs/internal/engine/exec"
+	"lqs/internal/obs"
 	"lqs/internal/sim"
 )
 
@@ -45,7 +46,13 @@ type QueryRegistry struct {
 	nextID  QueryID
 	entries map[QueryID]*registryEntry
 	order   []QueryID
+	metrics *obs.Registry
 }
+
+// SetMetrics publishes registry occupancy to reg: lqs/queries_launched
+// counts Launch calls, lqs/registry_active gauges queries not yet terminal.
+// Call before Launch; a nil registry disables publication.
+func (r *QueryRegistry) SetMetrics(reg *obs.Registry) { r.metrics = reg }
 
 // NewQueryRegistry returns an empty registry.
 func NewQueryRegistry() *QueryRegistry {
@@ -64,6 +71,8 @@ func (r *QueryRegistry) Launch(name string, s *Session) QueryID {
 	r.entries[e.id] = e
 	r.order = append(r.order, e.id)
 	r.mu.Unlock()
+	r.metrics.Counter("lqs/queries_launched").Inc()
+	r.metrics.Gauge("lqs/registry_active").Add(1)
 	go func() {
 		more := true
 		var err error
@@ -72,6 +81,7 @@ func (r *QueryRegistry) Launch(name string, s *Session) QueryID {
 		}
 		e.rows = s.Query.RowsReturned()
 		e.err = err
+		r.metrics.Gauge("lqs/registry_active").Add(-1)
 		close(e.done)
 	}()
 	return e.id

@@ -34,7 +34,18 @@ type Session struct {
 	// per-session state across polls.
 	shared bool
 	snapMu sync.Mutex
+
+	// Flight recorder: every Snapshot is retained in a bounded ring so the
+	// display layer can render a query's final state — or replay its whole
+	// progress curve — after it finished, even between poll boundaries.
+	histCap     int // 0 → DefaultHistoryCap, negative → unlimited
+	history     []*QuerySnapshot
+	histDropped int64
 }
+
+// DefaultHistoryCap is the number of snapshots a session's flight recorder
+// retains unless SetHistoryCap overrides it.
+const DefaultHistoryCap = 64
 
 // Attach creates a monitoring session for a query with the given estimator
 // options (LQSOptions for the shipping configuration).
@@ -108,14 +119,22 @@ type QuerySnapshot struct {
 // shared session (registry-launched) it synchronizes with the executor, so
 // it is safe to call concurrently with the query running.
 func (s *Session) Snapshot() *QuerySnapshot {
-	var snap *dmv.Snapshot
 	if s.shared {
 		s.snapMu.Lock()
 		defer s.snapMu.Unlock()
-		snap = dmv.CaptureSync(s.Query)
-	} else {
-		snap = dmv.Capture(s.Query)
+		out := s.snapshot(dmv.CaptureSync(s.Query))
+		s.record(out)
+		return out
 	}
+	out := s.snapshot(dmv.Capture(s.Query))
+	s.snapMu.Lock()
+	s.record(out)
+	s.snapMu.Unlock()
+	return out
+}
+
+// snapshot builds the display state for one captured DMV snapshot.
+func (s *Session) snapshot(snap *dmv.Snapshot) *QuerySnapshot {
 	est := s.Estimator.Estimate(snap)
 	out := &QuerySnapshot{
 		At:              snap.At,
@@ -154,6 +173,72 @@ func (s *Session) Snapshot() *QuerySnapshot {
 		out.ActivePipelines[pl.ID] = prog > 0 && prog < 1
 	}
 	return out
+}
+
+// record appends a snapshot to the flight recorder; caller holds snapMu.
+func (s *Session) record(q *QuerySnapshot) {
+	limit := s.histCap
+	if limit == 0 {
+		limit = DefaultHistoryCap
+	}
+	s.history = append(s.history, q)
+	if over := len(s.history) - limit; limit > 0 && over > 0 {
+		s.history = append(s.history[:0:0], s.history[over:]...)
+		s.histDropped += int64(over)
+	}
+}
+
+// SetHistoryCap bounds the flight recorder to n snapshots (n <= 0 removes
+// the bound). Lowering the cap trims already-retained history, oldest
+// first.
+func (s *Session) SetHistoryCap(n int) {
+	s.snapMu.Lock()
+	defer s.snapMu.Unlock()
+	if n <= 0 {
+		s.histCap = -1
+		return
+	}
+	s.histCap = n
+	if over := len(s.history) - n; over > 0 {
+		s.history = append(s.history[:0:0], s.history[over:]...)
+		s.histDropped += int64(over)
+	}
+}
+
+// History returns the flight recorder's retained snapshots, oldest first,
+// plus the number dropped to the cap. The slice is a copy; it is safe to
+// hold across further polls.
+func (s *Session) History() ([]*QuerySnapshot, int64) {
+	s.snapMu.Lock()
+	defer s.snapMu.Unlock()
+	return append([]*QuerySnapshot(nil), s.history...), s.histDropped
+}
+
+// Last returns the newest retained snapshot without polling again — the
+// frame a display renders for a query that reached a terminal state
+// between polls — or nil if nothing was ever recorded.
+func (s *Session) Last() *QuerySnapshot {
+	s.snapMu.Lock()
+	defer s.snapMu.Unlock()
+	if len(s.history) == 0 {
+		return nil
+	}
+	return s.history[len(s.history)-1]
+}
+
+// Explain polls the DMV surface and decomposes the current estimate into
+// its per-operator terms (progress.Explanation). It shares the session
+// estimator — an Explain counts as a poll, exactly like Snapshot — and is
+// safe under the same concurrency rules.
+func (s *Session) Explain() *progress.Explanation {
+	if s.shared {
+		s.snapMu.Lock()
+		defer s.snapMu.Unlock()
+		x, _ := s.Estimator.Explain(dmv.CaptureSync(s.Query))
+		return x
+	}
+	x, _ := s.Estimator.Explain(dmv.Capture(s.Query))
+	return x
 }
 
 // Render draws the plan tree with live per-operator progress, the text

@@ -23,6 +23,7 @@ import (
 	"lqs/internal/plan"
 	"lqs/internal/progress"
 	"lqs/internal/sim"
+	"lqs/internal/trace"
 	"lqs/internal/workload"
 )
 
@@ -49,6 +50,17 @@ func ResetTracedQueries() { tracedQueries.Store(0) }
 // TraceQuery executes one workload query under the DMV poller and returns
 // its finalized plan and trace.
 func TraceQuery(w *workload.Workload, q workload.Query, interval sim.Duration) (*plan.Plan, *dmv.Trace) {
+	p, tr, _ := TraceQueryEvents(w, q, interval, 0)
+	return p, tr
+}
+
+// TraceQueryEvents is TraceQuery with the operator event recorder attached:
+// eventCap bounds the per-query event ring (trace.DefaultCapacity when
+// negative; 0 disables event tracing entirely and returns a nil recorder).
+// Each call cold-starts the pool and runs on a fresh virtual clock, so for
+// a given workload the returned events are a pure function of the query —
+// the parallel harness's byte-identical-trace guarantee extends to them.
+func TraceQueryEvents(w *workload.Workload, q workload.Query, interval sim.Duration, eventCap int) (*plan.Plan, *dmv.Trace, *trace.Recorder) {
 	tracedQueries.Add(1)
 	p := plan.Finalize(q.Build(w.Builder()))
 	opt.NewEstimator(w.DB.Catalog).Estimate(p)
@@ -56,9 +68,17 @@ func TraceQuery(w *workload.Workload, q workload.Query, interval sim.Duration) (
 	poller := dmv.NewPoller(clock, interval)
 	w.DB.ColdStart()
 	query := exec.NewQuery(p, w.DB, opt.DefaultCostModel(), clock)
+	var rec *trace.Recorder
+	if eventCap != 0 {
+		if eventCap < 0 {
+			eventCap = trace.DefaultCapacity
+		}
+		rec = trace.NewRecorder(clock, eventCap)
+		query.Ctx.Trace = rec
+	}
 	poller.Register(query)
 	query.Run()
-	return p, poller.Finish(query)
+	return p, poller.Finish(query), rec
 }
 
 // Runner iterates a workload's queries, tracing each once.
@@ -77,6 +97,20 @@ type Runner struct {
 	// Workload (never the shared one), and fn is invoked serially in
 	// query order. Workloads without a Gen hook fall back to serial.
 	Parallel int
+	// EventCap enables operator event tracing on every query: the ring
+	// capacity passed to TraceQueryEvents (negative for the default;
+	// 0 leaves event tracing off).
+	EventCap int
+}
+
+// TraceArtifacts bundles everything one traced query produced: the query,
+// its finalized plan, the DMV snapshot trace, and — when Runner.EventCap
+// is set — the operator event recorder.
+type TraceArtifacts struct {
+	Query  workload.Query
+	Plan   *plan.Plan
+	Trace  *dmv.Trace
+	Events *trace.Recorder
 }
 
 // positions lists the query indices the runner will visit, in order.
@@ -98,6 +132,15 @@ func (r Runner) positions(w *workload.Workload) []int {
 // accumulators, figure tables) match the serial run exactly. Limit counts
 // usable traces and is applied at consumption, also in order.
 func (r Runner) ForEach(w *workload.Workload, fn func(q workload.Query, p *plan.Plan, tr *dmv.Trace)) {
+	r.ForEachArtifacts(w, func(a TraceArtifacts) {
+		fn(a.Query, a.Plan, a.Trace)
+	})
+}
+
+// ForEachArtifacts is ForEach surfacing the full TraceArtifacts (including
+// the event recorder when EventCap is set). fn runs on the calling
+// goroutine in workload order, exactly as ForEach.
+func (r Runner) ForEachArtifacts(w *workload.Workload, fn func(a TraceArtifacts)) {
 	interval := r.Interval
 	if interval == 0 {
 		interval = DefaultInterval
@@ -117,12 +160,12 @@ func (r Runner) ForEach(w *workload.Workload, fn func(q workload.Query, p *plan.
 				break
 			}
 			q := w.Queries[i]
-			p, tr := TraceQuery(w, q, interval)
+			p, tr, rec := TraceQueryEvents(w, q, interval, r.EventCap)
 			if len(tr.Snapshots) < MinSnapshots {
 				continue
 			}
 			count++
-			fn(q, p, tr)
+			fn(TraceArtifacts{Query: q, Plan: p, Trace: tr, Events: rec})
 		}
 		return
 	}
@@ -132,8 +175,9 @@ func (r Runner) ForEach(w *workload.Workload, fn func(q workload.Query, p *plan.
 	// is buffered, so a worker never blocks on a result the consumer has
 	// abandoned after hitting Limit.
 	type result struct {
-		p  *plan.Plan
-		tr *dmv.Trace
+		p   *plan.Plan
+		tr  *dmv.Trace
+		rec *trace.Recorder
 	}
 	results := make([]chan result, len(idx))
 	for pos := range results {
@@ -153,8 +197,8 @@ func (r Runner) ForEach(w *workload.Workload, fn func(q workload.Query, p *plan.
 				if local == nil {
 					local = w.Gen()
 				}
-				p, tr := TraceQuery(local, local.Queries[idx[pos]], interval)
-				results[pos] <- result{p, tr}
+				p, tr, rec := TraceQueryEvents(local, local.Queries[idx[pos]], interval, r.EventCap)
+				results[pos] <- result{p, tr, rec}
 			}
 		}()
 	}
@@ -179,7 +223,7 @@ func (r Runner) ForEach(w *workload.Workload, fn func(q workload.Query, p *plan.
 			continue
 		}
 		count++
-		fn(w.Queries[idx[pos]], res.p, res.tr)
+		fn(TraceArtifacts{Query: w.Queries[idx[pos]], Plan: res.p, Trace: res.tr, Events: res.rec})
 	}
 	close(done)
 	wg.Wait()

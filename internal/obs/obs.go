@@ -1,0 +1,268 @@
+// Package obs is a small counter/gauge/histogram registry — the engine's
+// metrics surface, the analog of SQL Server's performance counters sitting
+// next to the DMV views. Components feed it live (buffer-pool traffic,
+// poller sampling, registry occupancy, estimator-error distributions) and
+// tools dump it as sorted expvar-style text.
+//
+// Counters and gauges are lock-free atomics so hot paths pay one atomic
+// add; the registry lock is taken only on metric creation and dump. The
+// text dump is sorted by name, so identical metric values always render
+// byte-identically regardless of registration order.
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing integer metric.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by d.
+func (c *Counter) Add(d int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(d)
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an instantaneous integer value (occupancy, resident pages).
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores the gauge value.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Add moves the gauge by d (positive or negative).
+func (g *Gauge) Add(d int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(d)
+}
+
+// Value returns the current gauge reading.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// DefBuckets are the default histogram bucket upper bounds: a decade-spread
+// ladder that covers both estimator errors (fractions in [0,1]) and
+// nanosecond latencies once scaled.
+var DefBuckets = []float64{0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10}
+
+// Histogram accumulates observations into fixed buckets. Observe is
+// mutex-guarded — histograms sit off the hot path (per poll / per query,
+// never per row).
+type Histogram struct {
+	mu     sync.Mutex
+	bounds []float64
+	counts []int64 // len(bounds)+1; last is +Inf overflow
+	sum    float64
+	n      int64
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	if h == nil || math.IsNaN(v) {
+		return
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.sum += v
+	h.n++
+	for i, b := range h.bounds {
+		if v <= b {
+			h.counts[i]++
+			return
+		}
+	}
+	h.counts[len(h.bounds)]++
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.n
+}
+
+// Sum returns the sum of observations.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sum
+}
+
+// Mean returns the mean observation (0 when empty).
+func (h *Histogram) Mean() float64 {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.n == 0 {
+		return 0
+	}
+	return h.sum / float64(h.n)
+}
+
+func (h *Histogram) dump(sb *strings.Builder) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	fmt.Fprintf(sb, "count=%d sum=%g", h.n, h.sum)
+	for i, b := range h.bounds {
+		fmt.Fprintf(sb, " le%g:%d", b, h.counts[i])
+	}
+	fmt.Fprintf(sb, " inf:%d", h.counts[len(h.bounds)])
+}
+
+// Registry holds named metrics. The zero value is not usable; construct
+// with NewRegistry. All methods are safe for concurrent use.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		histograms: make(map[string]*Histogram),
+	}
+}
+
+// defaultRegistry is the process-wide registry, analogous to expvar's.
+var defaultRegistry = NewRegistry()
+
+// Default returns the process-wide default registry.
+func Default() *Registry { return defaultRegistry }
+
+// Counter returns the named counter, creating it on first use. Safe to call
+// on a nil registry (returns nil; all Counter methods tolerate nil), so
+// components can hold an optional registry without branching.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := r.counters[name]
+	if c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use. Nil-registry
+// tolerant, like Counter.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g := r.gauges[name]
+	if g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it with the given bucket
+// bounds (DefBuckets when nil) on first use. Nil-registry tolerant.
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := r.histograms[name]
+	if h == nil {
+		if bounds == nil {
+			bounds = DefBuckets
+		}
+		h = &Histogram{bounds: bounds, counts: make([]int64, len(bounds)+1)}
+		r.histograms[name] = h
+	}
+	return h
+}
+
+// Dump renders every metric as one line of expvar-style text, sorted by
+// name: identical metric values produce byte-identical dumps.
+func (r *Registry) Dump() string {
+	if r == nil {
+		return ""
+	}
+	r.mu.Lock()
+	lines := make([]string, 0, len(r.counters)+len(r.gauges)+len(r.histograms))
+	for name, c := range r.counters {
+		lines = append(lines, fmt.Sprintf("%s counter %d", name, c.Value()))
+	}
+	for name, g := range r.gauges {
+		lines = append(lines, fmt.Sprintf("%s gauge %d", name, g.Value()))
+	}
+	hists := make(map[string]*Histogram, len(r.histograms))
+	for name, h := range r.histograms {
+		hists[name] = h
+	}
+	r.mu.Unlock()
+	for name, h := range hists {
+		var sb strings.Builder
+		fmt.Fprintf(&sb, "%s histogram ", name)
+		h.dump(&sb)
+		lines = append(lines, sb.String())
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\n") + "\n"
+}
+
+// Reset drops every metric — tests and benchmark harnesses use it to start
+// each pass from a clean registry.
+func (r *Registry) Reset() {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.counters = make(map[string]*Counter)
+	r.gauges = make(map[string]*Gauge)
+	r.histograms = make(map[string]*Histogram)
+}

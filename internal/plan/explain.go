@@ -1,0 +1,54 @@
+package plan
+
+import (
+	"fmt"
+	"strings"
+)
+
+// NodeProfile carries one operator's runtime actuals for plan annotation —
+// the est-vs-actual comparison SSMS shows in an actual execution plan. It
+// is a plain value so display layers need not depend on the exec or dmv
+// packages; dmv.Snapshot.NodeProfiles adapts a DMV snapshot into it.
+type NodeProfile struct {
+	ActualRows int64
+	Rebinds    int64
+	Opened     bool
+	Closed     bool
+}
+
+// ExplainWithProfile renders the plan tree like Plan.String, with each node
+// annotated by its runtime actuals: actual row count, the actual/estimate
+// deviation factor, rebind count, and lifecycle state. profiles is indexed
+// by node ID; a short or nil slice leaves the missing nodes unannotated, so
+// a stale snapshot from a different plan shape degrades rather than panics.
+func ExplainWithProfile(p *Plan, profiles []NodeProfile) string {
+	var sb strings.Builder
+	p.Root.formatProfiled(&sb, 0, profiles)
+	return sb.String()
+}
+
+func (n *Node) formatProfiled(sb *strings.Builder, depth int, profiles []NodeProfile) {
+	n.formatLine(sb, depth)
+	if n.ID >= 0 && n.ID < len(profiles) {
+		pr := profiles[n.ID]
+		fmt.Fprintf(sb, " actual=%d", pr.ActualRows)
+		if n.EstRows > 0 {
+			fmt.Fprintf(sb, " (%.2fx)", float64(pr.ActualRows)/n.EstRows)
+		}
+		if pr.Rebinds > 1 {
+			fmt.Fprintf(sb, " rebinds=%d", pr.Rebinds)
+		}
+		switch {
+		case pr.Closed:
+			sb.WriteString(" [done]")
+		case pr.Opened:
+			sb.WriteString(" [open]")
+		default:
+			sb.WriteString(" [pending]")
+		}
+	}
+	sb.WriteByte('\n')
+	for _, c := range n.Children {
+		c.formatProfiled(sb, depth+1, profiles)
+	}
+}

@@ -1,0 +1,97 @@
+package plan_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"lqs/internal/engine/dmv"
+	"lqs/internal/engine/exec"
+	"lqs/internal/opt"
+	"lqs/internal/plan"
+	"lqs/internal/sim"
+	"lqs/internal/workload"
+)
+
+// runQ1 builds and runs TPC-H Q1 to completion, returning the finalized
+// plan and the final DMV snapshot. Workload generation is a pure function
+// of its seed, so the annotated EXPLAIN output is deterministic.
+func runQ1(t *testing.T) (*plan.Plan, *dmv.Snapshot) {
+	t.Helper()
+	w := workload.TPCH(1, workload.TPCHRowstore)
+	var wq workload.Query
+	for _, q := range w.Queries {
+		if q.Name == "Q1" {
+			wq = q
+			break
+		}
+	}
+	if wq.Build == nil {
+		t.Fatal("TPC-H workload has no Q1")
+	}
+	p := plan.Finalize(wq.Build(w.Builder()))
+	opt.NewEstimator(w.DB.Catalog).Estimate(p)
+	w.DB.ColdStart()
+	query := exec.NewQuery(p, w.DB, opt.DefaultCostModel(), sim.NewClock())
+	if _, err := query.Run(); err != nil {
+		t.Fatalf("Q1 failed: %v", err)
+	}
+	return p, dmv.Capture(query)
+}
+
+func TestExplainWithProfileGolden(t *testing.T) {
+	p, snap := runQ1(t)
+	got := plan.ExplainWithProfile(p, snap.NodeProfiles())
+
+	goldenPath := filepath.Join("testdata", "explain_profile_q1.golden")
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("missing golden file (run with UPDATE_GOLDEN=1 to create): %v", err)
+	}
+	if got != string(want) {
+		t.Fatalf("annotated EXPLAIN drifted from golden:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+func TestExplainWithProfileAnnotations(t *testing.T) {
+	p, snap := runQ1(t)
+	out := plan.ExplainWithProfile(p, snap.NodeProfiles())
+	if !strings.Contains(out, "actual=") {
+		t.Fatal("no actual-rows annotations")
+	}
+	if !strings.Contains(out, "[done]") {
+		t.Fatal("completed query's operators not marked [done]")
+	}
+	if strings.Contains(out, "[open]") || strings.Contains(out, "[pending]") {
+		t.Fatal("completed query shows unfinished operators")
+	}
+	// Every plan line carries an annotation.
+	for _, line := range strings.Split(strings.TrimRight(out, "\n"), "\n") {
+		if !strings.Contains(line, "actual=") {
+			t.Fatalf("unannotated line: %q", line)
+		}
+	}
+}
+
+func TestExplainWithProfileDegradesWithoutProfiles(t *testing.T) {
+	p, _ := runQ1(t)
+	// A nil profile slice (stale snapshot from another plan shape) renders
+	// the plain showplan.
+	if got, want := plan.ExplainWithProfile(p, nil), p.String(); got != want {
+		t.Fatalf("nil-profile render diverged from Plan.String:\n%s\nvs\n%s", got, want)
+	}
+	// A short slice annotates only the nodes it covers.
+	short := plan.ExplainWithProfile(p, make([]plan.NodeProfile, 1))
+	if !strings.Contains(short, "actual=0") {
+		t.Fatal("short profile slice annotated nothing")
+	}
+}

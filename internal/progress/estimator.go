@@ -30,6 +30,11 @@ type Estimator struct {
 	// display state per session.
 	prevOp    []float64
 	prevQuery float64
+
+	// rec, when non-nil, receives the introspection record of the current
+	// Estimate pass (set by Explain); the hot path pays one nil check per
+	// recording point.
+	rec *Explanation
 }
 
 // Estimate is the result of one estimation pass: what LQS displays.
@@ -123,12 +128,18 @@ func (e *Estimator) enforceMonotone(est *Estimate) {
 		if i < len(e.prevOp) {
 			if est.Op[i] < e.prevOp[i] {
 				est.Op[i] = e.prevOp[i]
+				if e.rec != nil && i < len(e.rec.Terms) {
+					e.rec.Terms[i].MonotoneClamped = true
+				}
 			}
 			e.prevOp[i] = est.Op[i]
 		}
 	}
 	if est.Query < e.prevQuery {
 		est.Query = e.prevQuery
+		if e.rec != nil {
+			e.rec.QueryMonotoneClamped = true
+		}
 	}
 	e.prevQuery = est.Query
 }
@@ -146,7 +157,9 @@ func (e *Estimator) deriveN(snap *dmv.Snapshot, est *Estimate) {
 		}
 		est.N[n.ID] = e.nodeN(snap, est, n, alphaMemo)
 		if e.Opt.Bound {
-			est.N[n.ID] = est.Bounds[n.ID].Clamp(est.N[n.ID])
+			before := est.N[n.ID]
+			est.N[n.ID] = est.Bounds[n.ID].Clamp(before)
+			e.noteBound(n.ID, est.Bounds[n.ID], before, est.N[n.ID])
 		}
 		// A degenerate optimizer estimate (NaN/Inf from a pathological
 		// selectivity product, or negative from bad stats) would poison
@@ -203,6 +216,7 @@ func (e *Estimator) nodeN(snap *dmv.Snapshot, est *Estimate, n *plan.Node, alpha
 
 	if e.Opt.Refine && op.Closed {
 		// Completed operators have exactly-known cardinality.
+		e.note(n.ID, SrcClosedExact, 0)
 		return k
 	}
 
@@ -211,10 +225,12 @@ func (e *Estimator) nodeN(snap *dmv.Snapshot, est *Estimate, n *plan.Node, alpha
 	// estimate in any case); inner-side leaves rebind, so only their
 	// per-execution count is known and the total stays an estimate.
 	if total, ok := e.knownLeafTotal(n); ok && !e.Decomp.InnerSide[n.ID] {
+		e.note(n.ID, SrcCatalogExact, 0)
 		return total
 	}
 
 	if !e.Opt.Refine {
+		e.note(n.ID, SrcOptimizer, 0)
 		return n.EstRows
 	}
 
@@ -222,13 +238,17 @@ func (e *Estimator) nodeN(snap *dmv.Snapshot, est *Estimate, n *plan.Node, alpha
 	// input, so a refined child propagates upward for free.
 	switch n.Physical {
 	case plan.ComputeScalar, plan.SegmentOp, plan.BitmapCreate, plan.Exchange:
+		e.note(n.ID, SrcChild, 0)
 		return est.N[n.Children[0].ID]
 	case plan.Sort:
+		e.note(n.ID, SrcChild, 0)
 		return est.N[n.Children[0].ID]
 	case plan.TopNSort:
+		e.note(n.ID, SrcChild, 0)
 		return math.Min(float64(n.TopN), est.N[n.Children[0].ID])
 	case plan.TableSpool:
 		if !e.Decomp.InnerSide[n.ID] {
+			e.note(n.ID, SrcChild, 0)
 			return est.N[n.Children[0].ID]
 		}
 	case plan.Concatenation:
@@ -236,9 +256,11 @@ func (e *Estimator) nodeN(snap *dmv.Snapshot, est *Estimate, n *plan.Node, alpha
 		for _, c := range n.Children {
 			sum += est.N[c.ID]
 		}
+		e.note(n.ID, SrcChild, 0)
 		return sum
 	case plan.RIDLookup:
 		if n.Pred == nil {
+			e.note(n.ID, SrcChild, 0)
 			return est.N[n.Children[0].ID]
 		}
 	case plan.HashAggregate, plan.StreamAggregate, plan.DistinctSort:
@@ -247,8 +269,10 @@ func (e *Estimator) nodeN(snap *dmv.Snapshot, est *Estimate, n *plan.Node, alpha
 		// propagation is on, which rescales the group estimate by the
 		// observed refinement of the input.
 		if e.Opt.PropagateRefined {
+			e.note(n.ID, SrcPropagated, 0)
 			return e.propagatedEstimate(est, n)
 		}
+		e.note(n.ID, SrcOptimizer, 0)
 		return n.EstRows
 	}
 
@@ -258,11 +282,14 @@ func (e *Estimator) nodeN(snap *dmv.Snapshot, est *Estimate, n *plan.Node, alpha
 		// their own; §7(a) propagation carries their inputs' refinements
 		// across the pipeline boundary.
 		if e.Opt.PropagateRefined {
+			e.note(n.ID, SrcPropagated, 0)
 			return e.propagatedEstimate(est, n)
 		}
+		e.note(n.ID, SrcOptimizer, 0)
 		return n.EstRows
 	}
 	if !e.refineGuardsOK(snap, n) {
+		e.note(n.ID, SrcOptimizer, 0)
 		return n.EstRows
 	}
 
@@ -279,8 +306,10 @@ func (e *Estimator) nodeN(snap *dmv.Snapshot, est *Estimate, n *plan.Node, alpha
 			frac = float64(op.LogicalReads) / float64(op.PagesTotal)
 		}
 		if frac > 1e-9 {
+			e.note(n.ID, SrcIOFraction, math.Min(frac, 1))
 			return k / math.Min(frac, 1)
 		}
+		e.note(n.ID, SrcOptimizer, 0)
 		return n.EstRows
 	}
 
@@ -289,6 +318,8 @@ func (e *Estimator) nodeN(snap *dmv.Snapshot, est *Estimate, n *plan.Node, alpha
 	if e.Decomp.InnerSide[n.ID] && e.Opt.SemiBlocking {
 		outerID := e.Decomp.OuterOf[n.ID]
 		rebinds := math.Max(float64(op.Rebinds), 1)
+		// The effective scale-up is the outer side's progress in rebinds.
+		e.note(n.ID, SrcRebindScaled, clamp01(rebinds/math.Max(est.N[outerID], 1)))
 		return (k / rebinds) * math.Max(est.N[outerID], 1)
 	}
 
@@ -296,12 +327,15 @@ func (e *Estimator) nodeN(snap *dmv.Snapshot, est *Estimate, n *plan.Node, alpha
 	// the immediate children's progress when a semi-blocking operator
 	// separates this node from the pipeline's leaves (§4.4(2)).
 	var alpha float64
+	src := SrcPipelineAlpha
 	if e.Opt.SemiBlocking && (e.hasSemiBelow[n.ID] || n.IsSemiBlocking()) && len(n.Children) > 0 {
 		alpha = e.childProgress(snap, est, n)
+		src = SrcChildAlpha
 	} else {
 		alpha = e.pipelineAlpha(snap, est, pl, alphaMemo)
 	}
 	if alpha <= 1e-9 {
+		e.note(n.ID, SrcOptimizer, 0)
 		return n.EstRows
 	}
 	if alpha > 1 {
@@ -310,8 +344,10 @@ func (e *Estimator) nodeN(snap *dmv.Snapshot, est *Estimate, n *plan.Node, alpha
 	if e.Opt.InterpRefine {
 		// Prior-work linear interpolation [22]: converges slowly when the
 		// initial estimate is grossly wrong (§4.1's critique).
+		e.note(n.ID, SrcInterpolated, alpha)
 		return k + (1-alpha)*n.EstRows
 	}
+	e.note(n.ID, src, alpha)
 	return k / alpha
 }
 

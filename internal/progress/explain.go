@@ -1,0 +1,316 @@
+package progress
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"lqs/internal/engine/dmv"
+	"lqs/internal/plan"
+	"lqs/internal/sim"
+)
+
+// NSource identifies which rule of §4 produced a node's refined
+// cardinality N̂ in one estimation pass.
+type NSource int
+
+const (
+	// SrcOptimizer: the raw optimizer estimate (no refinement applied —
+	// refinement off, guards not met, or pipeline not started).
+	SrcOptimizer NSource = iota
+	// SrcClosedExact: the operator closed, so N̂ = k exactly.
+	SrcClosedExact
+	// SrcCatalogExact: a whole-object leaf scan whose total is catalog
+	// metadata (§3.1.1 "driver node cardinalities are typically known").
+	SrcCatalogExact
+	// SrcChild: an algebraic pass-through of the child's N̂.
+	SrcChild
+	// SrcPropagated: the §7(a) cross-pipeline refinement ratio.
+	SrcPropagated
+	// SrcIOFraction: a filtered leaf refined from its I/O or segment
+	// fraction (§4.3, §4.7).
+	SrcIOFraction
+	// SrcRebindScaled: §4.4(3) inner-side per-execution average scaled by
+	// the outer side's cardinality.
+	SrcRebindScaled
+	// SrcChildAlpha: §4.4(2) scale-up by the immediate children's progress
+	// below a semi-blocking operator.
+	SrcChildAlpha
+	// SrcPipelineAlpha: Equation 3 scale-up by driver-node progress.
+	SrcPipelineAlpha
+	// SrcInterpolated: the prior-work linear interpolation [22]
+	// (Options.InterpRefine).
+	SrcInterpolated
+)
+
+func (s NSource) String() string {
+	switch s {
+	case SrcOptimizer:
+		return "optimizer"
+	case SrcClosedExact:
+		return "closed"
+	case SrcCatalogExact:
+		return "catalog"
+	case SrcChild:
+		return "child"
+	case SrcPropagated:
+		return "propagated"
+	case SrcIOFraction:
+		return "io-fraction"
+	case SrcRebindScaled:
+		return "rebind-scaled"
+	case SrcChildAlpha:
+		return "child-alpha"
+	case SrcPipelineAlpha:
+		return "pipeline-alpha"
+	case SrcInterpolated:
+		return "interpolated"
+	}
+	return fmt.Sprintf("NSource(%d)", int(s))
+}
+
+// Term decomposes one operator's role in an estimate: its observed k_i,
+// refined N̂_i (with how it was derived and what clamps applied), its
+// driver-set membership, its displayed progress, and its additive
+// contribution to overall query progress.
+type Term struct {
+	NodeID   int
+	Physical plan.PhysicalOp
+
+	// K is the observed output count k_i at the snapshot.
+	K int64
+	// N is the refined cardinality N̂_i the estimate used.
+	N float64
+	// EstRows is the raw optimizer estimate, for comparison.
+	EstRows float64
+	// Source says which §4 rule produced N.
+	Source NSource
+	// Alpha is the scale-up fraction the rule used (I/O fraction, child or
+	// pipeline α, rebind ratio); 0 when no scale-up was involved.
+	Alpha float64
+
+	// Bounds are the Appendix A worst-case bounds (when Options.Bound).
+	Bounds Bounds
+	// BoundClamped reports that the bound actually moved N̂.
+	BoundClamped bool
+
+	// Pipeline is the node's pipeline ID; Driver/InnerDriver its α-set
+	// membership (§3.1.1, §4.4(1)).
+	Pipeline    int
+	Driver      bool
+	InnerDriver bool
+
+	// Op is the displayed per-operator progress; MonotoneClamped reports
+	// that the display-layer high-water mark raised it above this poll's
+	// raw value.
+	Op              float64
+	MonotoneClamped bool
+
+	// Contribution is this node's additive share of the raw query
+	// progress: summing Contribution over all terms reproduces RawQuery
+	// exactly, for every estimator mode.
+	Contribution float64
+
+	// num accumulates the node's numerator while the estimator runs; the
+	// final normalization turns it into Contribution.
+	num float64
+}
+
+// Explanation is the introspection record of one estimation pass: the full
+// per-operator decomposition behind the single number LQS displays.
+type Explanation struct {
+	At   sim.Duration
+	Plan *plan.Plan
+	// Mode is the query-progress aggregation used: "tgn", "driver", or
+	// "weighted".
+	Mode  string
+	Terms []Term // indexed by node ID
+	// RawQuery is the mode formula's value before display clamps;
+	// Σ Terms[i].Contribution == RawQuery.
+	RawQuery float64
+	// Query is the displayed value (clamped to [0,1], monotone).
+	Query float64
+	// QueryMonotoneClamped reports that the monotone high-water mark
+	// raised the displayed query progress above this poll's raw value.
+	QueryMonotoneClamped bool
+	PipelineProg         []float64
+}
+
+// Explain runs one estimation pass with introspection enabled, returning
+// the decomposition alongside the estimate itself. It is exactly an
+// Estimate call — same refinement, same monotone state updates (an Explain
+// counts as a poll) — with every intermediate recorded.
+func (e *Estimator) Explain(snap *dmv.Snapshot) (*Explanation, *Estimate) {
+	x := &Explanation{
+		At:    snap.At,
+		Plan:  e.Plan,
+		Terms: make([]Term, len(e.Plan.Nodes)),
+		Mode:  e.mode(),
+	}
+	for _, n := range e.Plan.Nodes {
+		t := &x.Terms[n.ID]
+		t.NodeID = n.ID
+		t.Physical = n.Physical
+		t.EstRows = n.EstRows
+		t.Pipeline = e.Decomp.PipeOf[n.ID]
+	}
+	for _, pl := range e.Decomp.Pipelines {
+		for _, id := range pl.Drivers {
+			x.Terms[id].Driver = true
+		}
+		for _, id := range pl.InnerDrivers {
+			x.Terms[id].InnerDriver = true
+		}
+	}
+	e.rec = x
+	est := e.Estimate(snap)
+	e.rec = nil
+	x.Query = est.Query
+	x.PipelineProg = est.PipelineProg
+	for _, n := range e.Plan.Nodes {
+		t := &x.Terms[n.ID]
+		t.K = snap.Op(n.ID).ActualRows
+		t.N = est.N[n.ID]
+		t.Op = est.Op[n.ID]
+	}
+	return x, est
+}
+
+// mode names the query-progress aggregation the options select.
+func (e *Estimator) mode() string {
+	switch {
+	case e.Opt.Weighted:
+		return "weighted"
+	case e.Opt.DriverNodeQuery:
+		return "driver"
+	}
+	return "tgn"
+}
+
+// note records how a node's N̂ was derived; no-op without a recorder.
+func (e *Estimator) note(id int, src NSource, alpha float64) {
+	if e.rec == nil || id < 0 || id >= len(e.rec.Terms) {
+		return
+	}
+	e.rec.Terms[id].Source = src
+	e.rec.Terms[id].Alpha = alpha
+}
+
+// noteBound records the bound interval and whether the clamp moved N̂.
+func (e *Estimator) noteBound(id int, b Bounds, before, after float64) {
+	if e.rec == nil || id < 0 || id >= len(e.rec.Terms) {
+		return
+	}
+	e.rec.Terms[id].Bounds = b
+	e.rec.Terms[id].BoundClamped = before != after
+}
+
+// addNum accumulates a node's query-progress numerator.
+func (e *Estimator) addNum(id int, v float64) {
+	if e.rec == nil || id < 0 || id >= len(e.rec.Terms) {
+		return
+	}
+	e.rec.Terms[id].num += v
+}
+
+// finishContrib normalizes accumulated numerators into contributions that
+// sum exactly to the recorded raw query progress.
+func (e *Estimator) finishContrib(raw, den float64) {
+	if e.rec == nil {
+		return
+	}
+	e.rec.RawQuery = raw
+	if den <= 0 {
+		return
+	}
+	for i := range e.rec.Terms {
+		e.rec.Terms[i].Contribution = e.rec.Terms[i].num / den
+	}
+}
+
+// pipelineShares returns each node's share of a pipeline's progress
+// denominator, mirroring pipelineProgress's weighting, so a pipeline's
+// query-progress contribution can be distributed across its members
+// (shares sum to 1). Degenerate pipelines put the whole share on their
+// first member.
+func (e *Estimator) pipelineShares(snap *dmv.Snapshot, est *Estimate, pl *Pipeline) map[int]float64 {
+	dens := make(map[int]float64, len(pl.Members)+len(pl.Sources))
+	var sum float64
+	for _, id := range pl.Members {
+		n := e.Plan.Node(id)
+		_, total := e.termFor(snap, est, n)
+		if total <= 0 {
+			continue
+		}
+		w := 1.0
+		if e.Opt.Weighted {
+			w = e.nodeWeight(n) * math.Max(est.N[id], 1) / total
+		}
+		dens[id] += w * total
+		sum += w * total
+	}
+	for _, id := range pl.Sources {
+		w := 1.0
+		if e.Opt.Weighted {
+			w = outWeight(e.Plan.Node(id))
+		}
+		d := w * math.Max(est.N[id], 1)
+		dens[id] += d
+		sum += d
+	}
+	if sum <= 0 {
+		if len(pl.Members) > 0 {
+			return map[int]float64{pl.Members[0]: 1}
+		}
+		return nil
+	}
+	for id := range dens {
+		dens[id] /= sum
+	}
+	return dens
+}
+
+// Render formats the explanation as an indented table following the plan
+// tree, one line per operator under a query-level header.
+func (x *Explanation) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "progress explain @ %v  mode=%s  query=%.1f%% (raw %.2f%%)",
+		x.At, x.Mode, x.Query*100, x.RawQuery*100)
+	if x.QueryMonotoneClamped {
+		sb.WriteString(" [monotone]")
+	}
+	sb.WriteByte('\n')
+	var walk func(n *plan.Node, depth int)
+	walk = func(n *plan.Node, depth int) {
+		t := x.Terms[n.ID]
+		sb.WriteString(strings.Repeat("  ", depth))
+		fmt.Fprintf(&sb, "[%d] %s  op=%.1f%%", n.ID, n.Physical, t.Op*100)
+		if t.MonotoneClamped {
+			sb.WriteString(" [monotone]")
+		}
+		fmt.Fprintf(&sb, "  k=%d N̂=%.1f (est %.1f) src=%s", t.K, t.N, t.EstRows, t.Source)
+		if t.Alpha > 0 {
+			fmt.Fprintf(&sb, " α=%.3f", t.Alpha)
+		}
+		if t.Bounds.UB > 0 || t.Bounds.LB > 0 {
+			fmt.Fprintf(&sb, " bounds=[%.0f,%.0f]", t.Bounds.LB, t.Bounds.UB)
+			if t.BoundClamped {
+				sb.WriteString("!")
+			}
+		}
+		fmt.Fprintf(&sb, " pipe=%d", t.Pipeline)
+		switch {
+		case t.Driver:
+			sb.WriteString(" drv")
+		case t.InnerDriver:
+			sb.WriteString(" inner-drv")
+		}
+		fmt.Fprintf(&sb, " contrib=%.2f%%", t.Contribution*100)
+		sb.WriteByte('\n')
+		for _, c := range n.Children {
+			walk(c, depth+1)
+		}
+	}
+	walk(x.Plan.Root, 1)
+	return sb.String()
+}

@@ -1,0 +1,161 @@
+package progress
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"lqs/internal/engine/expr"
+	"lqs/internal/plan"
+)
+
+// joinPlan builds a hash-join plan with pipelines, a blocking sort, and an
+// aggregate — exercising every contribution path.
+func joinPlan(f *fixture) *plan.Node {
+	scanF := f.b.TableScan("fact", nil, nil)
+	scanD := f.b.TableScan("dim", nil, nil)
+	j := f.b.HashJoinNode(plan.LogicalInnerJoin, scanF, scanD, []int{1}, []int{0}, nil)
+	agg := f.b.HashAgg(j, []int{2}, []expr.AggSpec{{Kind: expr.CountStar}})
+	return f.b.Sort(agg, []int{0}, nil)
+}
+
+// explainModes are the three query-progress aggregations.
+var explainModes = []struct {
+	name string
+	opts Options
+}{
+	{"tgn", Options{Refine: true, Bound: true, TwoPhaseBlocking: true}},
+	{"driver", Options{Refine: true, Bound: true, DriverNodeQuery: true, SemiBlocking: true}},
+	{"weighted", LQSOptions()},
+}
+
+func TestExplainContributionsSumToQueryProgress(t *testing.T) {
+	f := newFixture(t)
+	for _, m := range explainModes {
+		t.Run(m.name, func(t *testing.T) {
+			p, tr := f.trace(t, joinPlan(f), nil)
+			est := NewEstimator(p, f.cat, m.opts)
+			for _, s := range append(tr.Snapshots, tr.Final) {
+				x, e := est.Explain(s)
+				if x.Mode != m.name {
+					t.Fatalf("mode = %q, want %q", x.Mode, m.name)
+				}
+				var sum float64
+				for _, term := range x.Terms {
+					sum += term.Contribution
+				}
+				if math.Abs(sum-x.RawQuery) > 1e-9 {
+					t.Fatalf("at %v: Σ contributions %v != raw query %v", s.At, sum, x.RawQuery)
+				}
+				// The displayed value is the raw value run through the display
+				// clamps, so absent clamping they agree.
+				if !x.QueryMonotoneClamped && math.Abs(clamp01(x.RawQuery)-e.Query) > 1e-9 {
+					t.Fatalf("at %v: displayed %v != clamped raw %v", s.At, e.Query, x.RawQuery)
+				}
+				if x.Query != e.Query {
+					t.Fatalf("explanation query %v != estimate query %v", x.Query, e.Query)
+				}
+			}
+		})
+	}
+}
+
+func TestExplainRecordsSourcesAndMembership(t *testing.T) {
+	f := newFixture(t)
+	p, tr := f.trace(t, joinPlan(f), nil)
+	est := NewEstimator(p, f.cat, LQSOptions())
+	mid := tr.Snapshots[len(tr.Snapshots)/2]
+	x, e := est.Explain(mid)
+
+	srcSeen := map[NSource]bool{}
+	for _, term := range x.Terms {
+		srcSeen[term.Source] = true
+		if term.N != e.N[term.NodeID] {
+			t.Fatalf("node %d: term N %v != estimate N %v", term.NodeID, term.N, e.N[term.NodeID])
+		}
+		if term.K != mid.Op(term.NodeID).ActualRows {
+			t.Fatalf("node %d: term K %v != snapshot k %v", term.NodeID, term.K, mid.Op(term.NodeID).ActualRows)
+		}
+		if term.Op != e.Op[term.NodeID] {
+			t.Fatalf("node %d: term Op %v != estimate %v", term.NodeID, term.Op, e.Op[term.NodeID])
+		}
+		if term.Bounds.UB <= 0 {
+			t.Fatalf("node %d: no bound recorded under Options.Bound", term.NodeID)
+		}
+	}
+	// Whole-object scans are catalog-exact or closed by mid-query.
+	if !srcSeen[SrcCatalogExact] && !srcSeen[SrcClosedExact] {
+		t.Fatalf("no exact source recorded: %v", srcSeen)
+	}
+	// Each pipeline's driver set is reflected on the terms.
+	drivers := 0
+	for _, term := range x.Terms {
+		if term.Driver {
+			drivers++
+		}
+	}
+	if drivers == 0 {
+		t.Fatal("no driver membership recorded")
+	}
+}
+
+func TestExplainMatchesPlainEstimate(t *testing.T) {
+	// Explain must not perturb the estimate: a fresh estimator explaining
+	// every snapshot yields the same Query series as one that estimates.
+	f := newFixture(t)
+	p, tr := f.trace(t, joinPlan(f), nil)
+	plain := NewEstimator(p, f.cat, LQSOptions())
+	explained := NewEstimator(p, f.cat, LQSOptions())
+	for _, s := range append(tr.Snapshots, tr.Final) {
+		want := plain.Estimate(s)
+		x, got := explained.Explain(s)
+		if got.Query != want.Query {
+			t.Fatalf("at %v: explained query %v != plain %v", s.At, got.Query, want.Query)
+		}
+		for i := range want.N {
+			if got.N[i] != want.N[i] {
+				t.Fatalf("at %v node %d: explained N %v != plain %v", s.At, i, got.N[i], want.N[i])
+			}
+		}
+		_ = x
+	}
+}
+
+func TestExplainMonotoneClampRecorded(t *testing.T) {
+	f := newFixture(t)
+	p, tr := f.trace(t, joinPlan(f), nil)
+	if len(tr.Snapshots) < 4 {
+		t.Skip("trace too short to replay out of order")
+	}
+	est := NewEstimator(p, f.cat, LQSOptions())
+	late := tr.Snapshots[len(tr.Snapshots)-1]
+	early := tr.Snapshots[0]
+	if _, e := est.Explain(late); e.Query == 0 {
+		t.Fatal("late snapshot shows zero progress")
+	}
+	// Replaying an early (stale) snapshot must clamp and say so.
+	x, e := est.Explain(early)
+	if !x.QueryMonotoneClamped {
+		t.Fatal("stale replay did not record a monotone clamp")
+	}
+	if e.Query < x.RawQuery {
+		t.Fatal("clamped query below raw value")
+	}
+}
+
+func TestExplainRender(t *testing.T) {
+	f := newFixture(t)
+	p, tr := f.trace(t, joinPlan(f), nil)
+	est := NewEstimator(p, f.cat, LQSOptions())
+	x, _ := est.Explain(tr.Snapshots[len(tr.Snapshots)/2])
+	out := x.Render()
+	for _, want := range []string{"progress explain @", "mode=weighted", "query=", "src=", "contrib=", "drv"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+	// One line per operator plus the header.
+	if got := strings.Count(out, "\n"); got != len(p.Nodes)+1 {
+		t.Fatalf("render has %d lines, want %d", got, len(p.Nodes)+1)
+	}
+}

@@ -98,7 +98,24 @@ func (e *Estimator) weightedQueryProgress(snap *dmv.Snapshot, est *Estimate) flo
 		den += d
 	}
 	if den <= 0 {
+		e.finishContrib(0, 0)
 		return 0
+	}
+	if e.rec != nil {
+		// Distribute each pipeline's duration-weighted progress across its
+		// members in proportion to their progress-denominator share, so the
+		// per-node contributions sum exactly to the query progress.
+		for _, pl := range pipes {
+			d := e.pipelineDuration(est, pl)
+			if d <= 0 {
+				continue
+			}
+			c := d * est.PipelineProg[pl.ID]
+			for id, share := range e.pipelineShares(snap, est, pl) {
+				e.addNum(id, c*share)
+			}
+		}
+		e.finishContrib(num/den, den)
 	}
 	return num / den
 }
@@ -113,16 +130,21 @@ func (e *Estimator) tgnQueryProgress(snap *dmv.Snapshot, est *Estimate) float64 
 		total := math.Max(est.N[n.ID], 1)
 		num += k
 		den += total
+		e.addNum(n.ID, k)
 		if e.Opt.TwoPhaseBlocking && n.IsBlocking() && len(n.Children) > 0 {
+			// The input-phase terms belong to the blocking node itself.
 			for _, c := range n.Children {
 				num += float64(snap.Op(c.ID).ActualRows)
 				den += math.Max(est.N[c.ID], 1)
+				e.addNum(n.ID, float64(snap.Op(c.ID).ActualRows))
 			}
 		}
 	}
 	if den <= 0 {
+		e.finishContrib(0, 0)
 		return 0
 	}
+	e.finishContrib(num/den, den)
 	return num / den
 }
 
@@ -144,9 +166,12 @@ func (e *Estimator) driverQueryProgress(snap *dmv.Snapshot, est *Estimate) float
 		total := math.Max(est.N[id], 1)
 		num += e.driverProgress(snap, est, n) * total
 		den += total
+		e.addNum(id, e.driverProgress(snap, est, n)*total)
 	}
 	if den <= 0 {
+		e.finishContrib(0, 0)
 		return 0
 	}
+	e.finishContrib(num/den, den)
 	return num / den
 }

@@ -1,0 +1,165 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// The Chrome trace-event JSON export: one process per query, one thread
+// (track) per operator, duration events for operator lifetimes and spill
+// phases, a counter series per operator for rows-over-time, and instant
+// events for degradations and lifecycle transitions. Timestamps are the
+// virtual-clock nanoseconds converted to the format's microseconds, so the
+// Perfetto timeline reads directly in virtual time.
+//
+// Track layout:
+//
+//	tid 0            query lifecycle (state transitions)
+//	tid nodeID+1     operator tracks, named "[id] Physical Op"
+//
+// Events marshal through fixed-field structs (never maps), so the same
+// event stream always encodes to the same bytes — the determinism tests
+// compare exports from serial and parallel runs directly.
+
+// chromeArgs is the fixed-shape args payload.
+type chromeArgs struct {
+	Name   string `json:"name,omitempty"`   // metadata events
+	Rows   *int64 `json:"rows,omitempty"`   // counters, close, spills
+	Detail string `json:"detail,omitempty"` // instants
+}
+
+// chromeEvent is one trace-event record.
+type chromeEvent struct {
+	Name string      `json:"name"`
+	Ph   string      `json:"ph"`
+	Ts   float64     `json:"ts"` // microseconds
+	Pid  int         `json:"pid"`
+	Tid  int         `json:"tid"`
+	S    string      `json:"s,omitempty"` // instant scope
+	Args *chromeArgs `json:"args,omitempty"`
+}
+
+// chromeDoc is the JSON-object export format ({"traceEvents": [...]}),
+// which both chrome://tracing and Perfetto accept.
+type chromeDoc struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+func usec(ns int64) float64 { return float64(ns) / 1e3 }
+
+// Chrome exports the recorder's events as Chrome trace-event JSON. The
+// queryName labels the process; pid distinguishes queries when several
+// exports are merged into one file.
+func Chrome(r *Recorder, queryName string, pid int) ([]byte, error) {
+	events := r.Events()
+	doc := chromeDoc{DisplayTimeUnit: "ms", TraceEvents: make([]chromeEvent, 0, len(events)+8)}
+
+	add := func(ev chromeEvent) {
+		ev.Pid = pid
+		doc.TraceEvents = append(doc.TraceEvents, ev)
+	}
+
+	// Process metadata, then one thread_name per operator track discovered
+	// from its Open event (held in event order, so metadata order is
+	// deterministic too).
+	add(chromeEvent{Name: "process_name", Ph: "M", Args: &chromeArgs{Name: queryName}})
+	add(chromeEvent{Name: "thread_name", Ph: "M", Tid: 0, Args: &chromeArgs{Name: "query lifecycle"}})
+	opName := make(map[int]string)
+	for _, ev := range events {
+		if ev.Kind == KindOpen {
+			if _, ok := opName[ev.NodeID]; !ok {
+				opName[ev.NodeID] = ev.Name
+				add(chromeEvent{
+					Name: "thread_name", Ph: "M", Tid: ev.NodeID + 1,
+					Args: &chromeArgs{Name: fmt.Sprintf("[%d] %s", ev.NodeID, ev.Name)},
+				})
+			}
+		}
+	}
+	name := func(id int) string {
+		if n, ok := opName[id]; ok {
+			return n
+		}
+		return fmt.Sprintf("node %d", id)
+	}
+
+	for _, ev := range events {
+		ts := usec(int64(ev.At))
+		switch ev.Kind {
+		case KindOpen:
+			add(chromeEvent{Name: ev.Name, Ph: "B", Ts: ts, Tid: ev.NodeID + 1})
+		case KindClose:
+			rows := ev.Rows
+			add(chromeEvent{Name: name(ev.NodeID), Ph: "E", Ts: ts, Tid: ev.NodeID + 1, Args: &chromeArgs{Rows: &rows}})
+		case KindRowBatch:
+			rows := ev.Rows
+			add(chromeEvent{
+				Name: fmt.Sprintf("rows [%d] %s", ev.NodeID, name(ev.NodeID)),
+				Ph:   "C", Ts: ts, Tid: ev.NodeID + 1, Args: &chromeArgs{Rows: &rows},
+			})
+		case KindSpillBegin:
+			rows := ev.Rows
+			add(chromeEvent{Name: "spill: " + ev.Name, Ph: "B", Ts: ts, Tid: ev.NodeID + 1, Args: &chromeArgs{Rows: &rows}})
+		case KindSpillEnd:
+			add(chromeEvent{Name: "spill", Ph: "E", Ts: ts, Tid: ev.NodeID + 1})
+		case KindMemDegrade:
+			add(chromeEvent{Name: "memory-grant degrade", Ph: "i", Ts: ts, Tid: ev.NodeID + 1, S: "t", Args: &chromeArgs{Detail: ev.Name}})
+		case KindIORetry:
+			rows := ev.Rows
+			add(chromeEvent{Name: "io-retry", Ph: "i", Ts: ts, Tid: ev.NodeID + 1, S: "t", Args: &chromeArgs{Rows: &rows}})
+		case KindState:
+			add(chromeEvent{Name: "state: " + ev.Name, Ph: "i", Ts: ts, Tid: 0, S: "p"})
+		}
+	}
+	return json.MarshalIndent(&doc, "", " ")
+}
+
+// ValidateChrome checks data against the trace-event schema contract the
+// exporters above rely on: a traceEvents array whose entries carry a name,
+// a known phase, non-negative timestamps, and per-track B/E nesting that
+// never underflows. A query that terminated abnormally legitimately leaves
+// B events unclosed, so unclosed stacks at end-of-trace are not an error.
+func ValidateChrome(data []byte) error {
+	var doc struct {
+		TraceEvents []struct {
+			Name *string  `json:"name"`
+			Ph   *string  `json:"ph"`
+			Ts   *float64 `json:"ts"`
+			Pid  int      `json:"pid"`
+			Tid  int      `json:"tid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return fmt.Errorf("trace: not valid JSON: %w", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		return fmt.Errorf("trace: empty traceEvents array")
+	}
+	valid := map[string]bool{"B": true, "E": true, "X": true, "i": true, "I": true, "C": true, "M": true, "b": true, "e": true, "n": true}
+	type track struct{ pid, tid int }
+	depth := make(map[track]int)
+	for i, ev := range doc.TraceEvents {
+		switch {
+		case ev.Name == nil || *ev.Name == "":
+			return fmt.Errorf("trace: event %d has no name", i)
+		case ev.Ph == nil || !valid[*ev.Ph]:
+			return fmt.Errorf("trace: event %d (%s) has invalid phase", i, *ev.Name)
+		case *ev.Ph != "M" && ev.Ts == nil:
+			return fmt.Errorf("trace: event %d (%s) has no ts", i, *ev.Name)
+		case ev.Ts != nil && *ev.Ts < 0:
+			return fmt.Errorf("trace: event %d (%s) has negative ts", i, *ev.Name)
+		}
+		tr := track{ev.Pid, ev.Tid}
+		switch *ev.Ph {
+		case "B":
+			depth[tr]++
+		case "E":
+			depth[tr]--
+			if depth[tr] < 0 {
+				return fmt.Errorf("trace: event %d (%s) closes more spans than opened on pid=%d tid=%d", i, *ev.Name, ev.Pid, ev.Tid)
+			}
+		}
+	}
+	return nil
+}
