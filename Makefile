@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all vet build test race bench trace-smoke ci
+.PHONY: all vet build test race bench trace-smoke fuzz-smoke ci
 
 all: ci
 
@@ -14,10 +14,19 @@ test:
 	$(GO) test ./...
 
 # The concurrency-sensitive packages: registry-driven concurrent queries,
-# cross-goroutine snapshot capture, the buffer-pool latch, and the
-# parallel tracing harness (worker pool + ordered merge).
+# cross-goroutine snapshot capture, the buffer-pool latch, the parallel
+# tracing harness (worker pool + ordered merge), and the intra-query
+# parallel executor (gather workers + per-thread counters + estimator).
 race:
-	$(GO) test -race ./internal/lqs/... ./internal/engine/dmv/... ./internal/metrics/... ./internal/trace/... ./internal/obs/...
+	$(GO) test -race ./internal/lqs/... ./internal/engine/dmv/... ./internal/metrics/... ./internal/trace/... ./internal/obs/... ./internal/engine/exec/... ./internal/progress/...
+
+# Short coverage-guided runs of every native fuzz target: the DMV
+# per-thread aggregation and the progress estimator fed adversarial
+# snapshots. Seeds always run under plain `make test`; this adds a bounded
+# mutation pass so CI exercises the generators too.
+fuzz-smoke:
+	$(GO) test ./internal/engine/dmv/ -run '^$$' -fuzz FuzzAggregateThreads -fuzztime 10s
+	$(GO) test ./internal/progress/ -run '^$$' -fuzz FuzzEstimator -fuzztime 200x
 
 # Quick-mode suite with parallel tracing; machine-readable timings (with
 # speedup vs a serial reference pass) land in bench.json.
@@ -34,4 +43,4 @@ trace-smoke:
 	@ls .trace-smoke/*.trace.json .trace-smoke/*.explain.txt > /dev/null
 	@rm -rf .trace-smoke && echo "trace-smoke: OK"
 
-ci: vet build test race trace-smoke
+ci: vet build test race trace-smoke fuzz-smoke

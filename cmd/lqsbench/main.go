@@ -8,7 +8,9 @@
 //	lqsbench -full           # trace every query of every workload
 //	lqsbench -seed 7         # different data/workload seed
 //	lqsbench -parallel 8     # trace with 8 workers (0 = GOMAXPROCS)
-//	lqsbench -bench-json -   # machine-readable timings on stdout
+//	lqsbench -dop 4          # run queries with intra-query parallel zones
+//	lqsbench -bench-json -   # machine-readable timings on stdout; -dop > 1
+//	                         # adds per-query virtual-time speedups
 //	lqsbench -list           # list experiment IDs
 //
 //	lqsbench -run none -trace-dir out   # per-query Chrome traces + explains
@@ -59,6 +61,11 @@ type benchReport struct {
 	Workers     int          `json:"workers"`
 	WallSeconds float64      `json:"wall_seconds"`
 	Phases      []phaseBench `json:"phases"`
+	// DOP and DOPSpeedups report intra-query parallelism: each traced
+	// query's simulated elapsed time serially and at -dop, present only
+	// when -dop > 1.
+	DOP         int                  `json:"dop,omitempty"`
+	DOPSpeedups []metrics.DOPSpeedup `json:"dop_speedups,omitempty"`
 }
 
 func main() {
@@ -68,6 +75,7 @@ func main() {
 		seed     = flag.Uint64("seed", 42, "workload generation seed")
 		list     = flag.Bool("list", false, "list experiment IDs and exit")
 		parallel = flag.Int("parallel", 1, "tracing workers: 1 = serial, 0 = GOMAXPROCS")
+		dop      = flag.Int("dop", 1, "intra-query degree of parallelism for -trace-dir runs and the -bench-json speedup section (1 = serial)")
 		benchOut = flag.String("bench-json", "", "write machine-readable timings to this file ('-' = stdout); parallel runs add a serial reference pass for speedup")
 		traceDir = flag.String("trace-dir", "", "emit per-query Chrome trace-event JSON and estimator explains into this directory")
 		traceWl  = flag.String("trace-workload", "tpch", "workload to trace for -trace-dir: tpch, tpch-cs, tpcds, real1, real2, real3")
@@ -92,7 +100,7 @@ func main() {
 	}
 
 	if *traceDir != "" {
-		if err := emitTraces(*traceDir, *traceWl, *seed, *traceLim, *parallel); err != nil {
+		if err := emitTraces(*traceDir, *traceWl, *seed, *traceLim, *parallel, *dop); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -128,6 +136,22 @@ func main() {
 
 	if *benchOut == "" {
 		return
+	}
+	if *dop > 1 {
+		// Virtual-time speedups from intra-query parallelism: each query of
+		// the -trace-workload runs serially and at -dop on the simulated
+		// clock, so the ratio is deterministic and independent of host load.
+		w, err := workloadByName(*traceWl, *seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		limit := 0
+		if !*full {
+			limit = 8
+		}
+		report.DOP = *dop
+		report.DOPSpeedups = metrics.MeasureDOPSpeedups(w, *dop, limit)
 	}
 	if workers > 1 {
 		// Serial reference pass on a fresh suite (fresh workload cache, so
@@ -187,7 +211,7 @@ func workloadByName(name string, seed uint64) (*workload.Workload, error) {
 // directly in Perfetto) and the estimator's mid-query decomposition
 // (<workload>-<query>.explain.txt). Estimator-error and pool metrics feed
 // the default metrics registry for -metrics.
-func emitTraces(dir, wname string, seed uint64, limit, parallel int) error {
+func emitTraces(dir, wname string, seed uint64, limit, parallel, dop int) error {
 	w, err := workloadByName(wname, seed)
 	if err != nil {
 		return err
@@ -197,7 +221,7 @@ func emitTraces(dir, wname string, seed uint64, limit, parallel int) error {
 	}
 	reg := obs.Default()
 	errHist := reg.Histogram("estimator/error_count/"+w.Name, nil)
-	r := metrics.Runner{Limit: limit, Parallel: parallel, EventCap: -1}
+	r := metrics.Runner{Limit: limit, Parallel: parallel, EventCap: -1, DOP: dop}
 	pid := 0
 	var files int
 	r.ForEachArtifacts(w, func(a metrics.TraceArtifacts) {

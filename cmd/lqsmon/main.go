@@ -10,6 +10,8 @@
 //	lqsmon -interval 2ms -plain    # coarser polling, no screen clearing
 //	lqsmon -deadline 50ms          # abort at a virtual-time deadline
 //	lqsmon -explain                # per-operator estimate decomposition
+//	lqsmon -dop 4                  # run parallel zones with 4 workers
+//	lqsmon -dop 4 -threads        # …and show the per-thread drill-down
 //	lqsmon -list                   # list available queries
 package main
 
@@ -34,6 +36,8 @@ func main() {
 		deadline = flag.Duration("deadline", 0, "virtual-time deadline; 0 means none")
 		plain    = flag.Bool("plain", false, "append frames instead of redrawing in place")
 		explain  = flag.Bool("explain", false, "render the estimator's per-operator decomposition under each frame")
+		dop      = flag.Int("dop", 1, "degree of parallelism for parallel zones (1 = serial)")
+		threads  = flag.Bool("threads", false, "render the per-thread DMV drill-down under each frame")
 		seed     = flag.Uint64("seed", 42, "workload seed")
 		list     = flag.Bool("list", false, "list query names and exit")
 	)
@@ -76,7 +80,7 @@ func main() {
 		os.Exit(1)
 	}
 
-	s := lqs.Start(w.DB, query.Build(w.Builder()), progress.LQSOptions())
+	s := lqs.StartDOP(w.DB, query.Build(w.Builder()), *dop, progress.LQSOptions())
 	if *deadline > 0 {
 		s.Query.Ctx.Deadline = *deadline
 	}
@@ -86,8 +90,14 @@ func main() {
 		if !*plain {
 			fmt.Print("\033[H\033[2J") // clear screen, home cursor
 		}
-		fmt.Printf("%s %s  (virtual poll every %v)\n\n", w.Name, query.Name, *interval)
+		fmt.Printf("%s %s  (virtual poll every %v, dop=%d)\n\n", w.Name, query.Name, *interval, *dop)
 		fmt.Print(s.Render(q))
+		if *threads {
+			if drill := s.RenderThreads(q); drill != "" {
+				fmt.Println()
+				fmt.Print(drill)
+			}
+		}
 		if *explain {
 			fmt.Println()
 			fmt.Print(s.Explain().Render())

@@ -22,10 +22,16 @@ import (
 // by the SSMS client.
 const PollInterval = 500 * sim.Duration(1e6)
 
-// OpProfile is one row of the query-profiles view: one operator's counters
-// at the snapshot instant.
+// OpProfile is one row of the query-profiles view: one operator instance's
+// counters at the snapshot instant. Serial operators contribute one row
+// (ThreadID 0); an operator running under a parallel gather contributes one
+// row per worker thread, exactly as sys.dm_exec_query_profiles emits one
+// row per (node, thread). Snapshot.Ops holds the per-node aggregation.
 type OpProfile struct {
-	NodeID   int
+	NodeID int
+	// ThreadID is the DMV thread ordinal: 0 for the coordinator instance,
+	// w+1 for parallel worker w. Aggregated rows report 0.
+	ThreadID int
 	Physical plan.PhysicalOp
 	Logical  plan.LogicalOp
 
@@ -61,26 +67,107 @@ type OpProfile struct {
 }
 
 // Snapshot is one poll of a single query: all operator profiles at a
-// common instant, indexed by plan node ID.
+// common instant. Threads holds the raw per-(node, thread) rows, sorted by
+// (NodeID, ThreadID); Ops holds one aggregated profile per node, indexed by
+// NodeID (plan IDs are dense preorder). Hand-built snapshots may populate
+// Ops directly and leave Threads empty — Aggregate treats pre-set Ops as
+// authoritative.
 type Snapshot struct {
-	At  sim.Duration
-	Ops []OpProfile // indexed by NodeID (plan IDs are dense preorder)
+	At sim.Duration
+	// NumNodes is the plan's node count, the length Aggregate gives Ops.
+	NumNodes int
+	// Threads are the raw per-thread profile rows.
+	Threads []OpProfile
+	// Ops are the per-node aggregations of Threads (or directly-set rows).
+	Ops []OpProfile
 }
 
-// Op returns the profile for a node ID. Out-of-range IDs — possible when a
-// client holds a stale or partial snapshot from a different plan shape —
-// return an empty profile rather than panicking, so display code degrades
-// to "no data" instead of crashing the monitor.
+// Op returns the aggregated profile for a node ID. Out-of-range IDs —
+// possible when a client holds a stale or partial snapshot from a
+// different plan shape — return an empty profile rather than panicking, so
+// display code degrades to "no data" instead of crashing the monitor.
 func (s *Snapshot) Op(id int) *OpProfile {
+	s.Aggregate()
 	if id < 0 || id >= len(s.Ops) {
 		return &OpProfile{NodeID: id}
 	}
 	return &s.Ops[id]
 }
 
+// Aggregate folds the per-thread rows into one profile per node, the shape
+// every estimator consumes: counters that accumulate work (rows, rebinds,
+// reads, CPU/IO time, segments, totals) are summed across threads — each
+// thread scans a disjoint partition, so the sums are exactly the serial
+// counters and nothing is double-counted — while lifecycle is combined as
+// Opened = any thread opened, Closed = every opened row also closed,
+// OpenedAt/FirstActiveAt = earliest, LastActive/ClosedAt = latest. A no-op
+// when Ops is already populated (idempotent, and hand-built snapshots with
+// direct Ops stay authoritative).
+func (s *Snapshot) Aggregate() {
+	if s.Ops != nil || len(s.Threads) == 0 {
+		return
+	}
+	n := s.NumNodes
+	for _, t := range s.Threads {
+		if t.NodeID+1 > n {
+			n = t.NodeID + 1
+		}
+	}
+	ops := make([]OpProfile, n)
+	seen := make([]bool, n)
+	for i := range ops {
+		ops[i].NodeID = i
+	}
+	for _, t := range s.Threads {
+		if t.NodeID < 0 || t.NodeID >= n {
+			continue
+		}
+		agg := &ops[t.NodeID]
+		if !seen[t.NodeID] {
+			*agg = t
+			agg.ThreadID = 0
+			seen[t.NodeID] = true
+			continue
+		}
+		agg.ActualRows += t.ActualRows
+		agg.Rebinds += t.Rebinds
+		agg.CPUTime += t.CPUTime
+		agg.IOTime += t.IOTime
+		agg.LogicalReads += t.LogicalReads
+		agg.PhysicalReads += t.PhysicalReads
+		agg.PagesTotal += t.PagesTotal
+		agg.IORetries += t.IORetries
+		agg.SegmentsProcessed += t.SegmentsProcessed
+		agg.SegmentsTotal += t.SegmentsTotal
+		agg.InternalDone += t.InternalDone
+		agg.InternalTotal += t.InternalTotal
+		if t.Opened {
+			if !agg.Opened || t.OpenedAt < agg.OpenedAt {
+				agg.OpenedAt = t.OpenedAt
+			}
+			agg.Opened = true
+		}
+		agg.Closed = agg.Closed && t.Closed
+		if t.FirstActive {
+			if !agg.FirstActive || t.FirstActiveAt < agg.FirstActiveAt {
+				agg.FirstActiveAt = t.FirstActiveAt
+			}
+			agg.FirstActive = true
+		}
+		if t.LastActive > agg.LastActive {
+			agg.LastActive = t.LastActive
+		}
+		if t.ClosedAt > agg.ClosedAt {
+			agg.ClosedAt = t.ClosedAt
+		}
+	}
+	s.Ops = ops
+}
+
 // NodeProfiles adapts the snapshot into the plan package's annotation
 // profiles (indexed by node ID), for plan.ExplainWithProfile.
 func (s *Snapshot) NodeProfiles() []plan.NodeProfile {
+	s.Aggregate()
 	out := make([]plan.NodeProfile, len(s.Ops))
 	for i, op := range s.Ops {
 		out[i] = plan.NodeProfile{
@@ -93,12 +180,22 @@ func (s *Snapshot) NodeProfiles() []plan.NodeProfile {
 	return out
 }
 
-// Capture snapshots a query's counters right now.
+// Capture snapshots a query's counters right now: one Threads row per
+// (node, thread) counter set — serial operators contribute their single
+// thread-0 row, parallel zones one row per worker — pre-aggregated into
+// Ops so consumers that never look at threads see the familiar per-node
+// view.
 func Capture(q *exec.Query) *Snapshot {
-	snap := &Snapshot{At: q.Ctx.Clock.Now(), Ops: make([]OpProfile, len(q.Plan.Nodes))}
-	for id, c := range q.Counters() {
-		snap.Ops[id] = OpProfile{
+	all := q.AllCounters()
+	snap := &Snapshot{
+		At:       q.Ctx.Clock.Now(),
+		NumNodes: len(q.Plan.Nodes),
+		Threads:  make([]OpProfile, 0, len(all)),
+	}
+	for _, c := range all {
+		snap.Threads = append(snap.Threads, OpProfile{
 			NodeID:            c.NodeID,
+			ThreadID:          c.Thread,
 			Physical:          c.Physical,
 			Logical:           c.Logical,
 			EstimateRows:      c.EstRows,
@@ -121,8 +218,9 @@ func Capture(q *exec.Query) *Snapshot {
 			SegmentsTotal:     c.SegmentsTotal,
 			InternalDone:      c.InternalDone,
 			InternalTotal:     c.InternalTotal,
-		}
+		})
 	}
+	snap.Aggregate()
 	return snap
 }
 

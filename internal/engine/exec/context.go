@@ -23,7 +23,12 @@ import (
 // estimated rows, elapsed/CPU time, logical and physical reads, and the
 // columnstore segment counts of §4.7.
 type Counters struct {
-	NodeID   int
+	NodeID int
+	// Thread is the DMV thread ordinal this counter set belongs to: 0 for
+	// the coordinator (serial) instance of an operator, w+1 for parallel
+	// worker w's instance. The DMV emits one profile row per (node,
+	// thread), matching sys.dm_exec_query_profiles' shape.
+	Thread   int
 	Physical plan.PhysicalOp
 	Logical  plan.LogicalOp
 	EstRows  float64
@@ -126,6 +131,36 @@ type Ctx struct {
 	// Bitmaps holds runtime bitmap filters keyed by BitmapCreate node ID.
 	Bitmaps map[int]*bitmapFilter
 
+	// DOP is the query's degree of parallelism: GatherStreams exchanges
+	// over partitionable subtrees run DOP worker threads when it exceeds
+	// 1. Set at query construction (NewQueryDOP) — the operator tree is
+	// shaped by it.
+	DOP int
+
+	// Thread is this context's DMV thread ordinal (0 = coordinator, w+1 =
+	// parallel worker w); Part/Parts are the range partition a worker's
+	// scans claim (Parts 0 means unpartitioned). Worker contexts are
+	// created by the gather operator, never by users.
+	Thread      int
+	Part, Parts int
+
+	// parent is the coordinator context a worker context hangs off:
+	// workers observe the parent's cancellation flag (an atomic, so it is
+	// race-free) while charging their own private sub-clock.
+	parent *Ctx
+
+	// cleanups run exactly once when the query reaches a terminal state —
+	// success, failure, or cancellation. Parallel gathers register worker
+	// shutdown here so goroutines never leak even on the failure path,
+	// where operator Close is not called.
+	cleanups []func()
+
+	// threadCounters are the per-(node, thread) counter sets of parallel
+	// worker operator instances, registered at build time by the gather so
+	// DMV captures see every thread row from the first poll. Coordinator
+	// instances live in Query.ops instead.
+	threadCounters []*Counters
+
 	// mu serializes counter and clock mutation against concurrent DMV
 	// captures. The executing goroutine holds it for the duration of each
 	// Step batch, yielding briefly every yieldEvery charges so pollers on
@@ -158,10 +193,30 @@ func (ctx *Ctx) CancelCause(reason string) {
 	ctx.cancel.CompareAndSwap(nil, &QueryError{Kind: KindCancelled, NodeID: -1, Reason: reason})
 }
 
+// onCleanup registers f to run once when the query reaches any terminal
+// state. Called on the executing goroutine only.
+func (ctx *Ctx) onCleanup(f func()) { ctx.cleanups = append(ctx.cleanups, f) }
+
+// runCleanups runs and clears the registered cleanup hooks; idempotent.
+func (ctx *Ctx) runCleanups() {
+	fns := ctx.cleanups
+	ctx.cleanups = nil
+	for _, f := range fns {
+		f()
+	}
+}
+
 // interrupted returns the pending interrupt, if any: an explicit
-// cancellation or an expired virtual-time deadline.
+// cancellation or an expired virtual-time deadline. Worker contexts
+// observe the coordinator's cancellation flag but check the deadline
+// against their own sub-clock, so deadline aborts stay deterministic at
+// any DOP.
 func (ctx *Ctx) interrupted() *QueryError {
-	if qe := ctx.cancel.Load(); qe != nil {
+	cancel := &ctx.cancel
+	if ctx.parent != nil {
+		cancel = &ctx.parent.cancel
+	}
+	if qe := cancel.Load(); qe != nil {
 		return qe
 	}
 	if ctx.Deadline > 0 && ctx.Clock.Now() >= ctx.Deadline {
@@ -188,8 +243,13 @@ func (ctx *Ctx) checkpoint(c *Counters) {
 	ctx.chargeOps++
 	if ctx.chargeOps >= yieldEvery {
 		ctx.chargeOps = 0
-		ctx.mu.Unlock()
-		ctx.mu.Lock()
+		// Only the coordinator holds (and may yield) the counter mutex;
+		// worker contexts synchronize with snapshots through the gather's
+		// batch protocol instead.
+		if ctx.parent == nil {
+			ctx.mu.Unlock()
+			ctx.mu.Lock()
+		}
 	}
 	if qe := ctx.interrupted(); qe != nil {
 		panic(qe)

@@ -138,7 +138,7 @@ func BuildOperator(n *plan.Node, ctx *Ctx) Operator {
 		ctx.Bitmaps[n.ID] = newBitmapFilter()
 		return newBitmap(n, BuildOperator(n.Children[0], ctx))
 	case plan.Exchange:
-		return newExchange(n, BuildOperator(n.Children[0], ctx))
+		return newExchangeOrGather(n, ctx)
 	default:
 		panic(fmt.Sprintf("exec: no operator for %v", n.Physical))
 	}

@@ -2,6 +2,7 @@ package exec
 
 import (
 	"fmt"
+	"sort"
 	"sync/atomic"
 
 	"lqs/internal/engine/storage"
@@ -23,6 +24,7 @@ type Query struct {
 	Ctx  *Ctx
 
 	ops     map[int]Operator // by node ID
+	all     []*Counters      // every (node, thread) counter row, sorted
 	state   atomic.Int32     // QueryState
 	failure atomic.Pointer[QueryError]
 	rows    atomic.Int64
@@ -33,13 +35,36 @@ type Query struct {
 // NewQuery builds the operator tree for a finalized, estimated plan over
 // the database, charging work to the given clock.
 func NewQuery(p *plan.Plan, db *storage.Database, cm *opt.CostModel, clock *sim.Clock) *Query {
+	return NewQueryDOP(p, db, cm, clock, 1)
+}
+
+// NewQueryDOP is NewQuery at an explicit degree of parallelism: when dop
+// exceeds 1, each GatherStreams exchange over a parallel-safe subtree runs
+// dop workers over disjoint partitions (see parallel.go). Results, final
+// aggregated counters, and the virtual-time stream stay deterministic at
+// any DOP; only the simulated elapsed time changes.
+func NewQueryDOP(p *plan.Plan, db *storage.Database, cm *opt.CostModel, clock *sim.Clock, dop int) *Query {
+	if dop < 1 {
+		dop = 1
+	}
 	q := &Query{
 		Plan: p,
-		Ctx:  &Ctx{Clock: clock, DB: db, CM: cm},
+		Ctx:  &Ctx{Clock: clock, DB: db, CM: cm, DOP: dop},
 		ops:  make(map[int]Operator, len(p.Nodes)),
 	}
 	q.Root = BuildOperator(p.Root, q.Ctx)
 	q.index(q.Root)
+	q.all = make([]*Counters, 0, len(q.ops)+len(q.Ctx.threadCounters))
+	for _, op := range q.ops {
+		q.all = append(q.all, op.Counters())
+	}
+	q.all = append(q.all, q.Ctx.threadCounters...)
+	sort.Slice(q.all, func(i, j int) bool {
+		if q.all[i].NodeID != q.all[j].NodeID {
+			return q.all[i].NodeID < q.all[j].NodeID
+		}
+		return q.all[i].Thread < q.all[j].Thread
+	})
 	return q
 }
 
@@ -81,13 +106,19 @@ func (q *Query) index(op Operator) {
 		q.index(t.child)
 	case *exchange:
 		q.index(t.child)
+	case *gather:
+		// Worker operator instances are not indexed by node ID (there are
+		// DOP of them per node); their counter rows are registered in
+		// ctx.threadCounters at build time and surface via AllCounters.
 	}
 }
 
 // Operator returns the operator for a plan node ID.
 func (q *Query) Operator(id int) Operator { return q.ops[id] }
 
-// Counters returns every operator's counters indexed by node ID.
+// Counters returns every coordinator operator's counters indexed by node
+// ID (the thread-0 rows). Parallel worker rows are reached through
+// AllCounters.
 func (q *Query) Counters() map[int]*Counters {
 	out := make(map[int]*Counters, len(q.ops))
 	for id, op := range q.ops {
@@ -95,6 +126,14 @@ func (q *Query) Counters() map[int]*Counters {
 	}
 	return out
 }
+
+// AllCounters returns every (node, thread) counter row of the query —
+// coordinator and parallel-worker instances alike — sorted by (NodeID,
+// Thread). This is the DMV's source of truth: one profile row per entry,
+// exactly like sys.dm_exec_query_profiles' per-thread rows. The slice is
+// built at query construction and stable thereafter; callers must not
+// mutate it.
+func (q *Query) AllCounters() []*Counters { return q.all }
 
 // State returns the query's lifecycle state; safe from any goroutine.
 func (q *Query) State() QueryState { return QueryState(q.state.Load()) }
@@ -158,6 +197,7 @@ func (q *Query) fail(qe *QueryError) {
 	}
 	q.state.Store(int32(qe.State()))
 	q.ended.Store(int64(q.Ctx.Clock.Now()))
+	q.Ctx.runCleanups()
 	q.traceState(qe.State())
 }
 
@@ -207,6 +247,7 @@ func (q *Query) finish() {
 	q.Root.Close(q.Ctx)
 	q.state.Store(int32(StateSucceeded))
 	q.ended.Store(int64(q.Ctx.Clock.Now()))
+	q.Ctx.runCleanups()
 	q.traceState(StateSucceeded)
 }
 
@@ -302,8 +343,8 @@ func (q *Query) RunCollect() (rows []types.Row, err error) {
 // as the oracle denominators in the paper's error metrics.
 func (q *Query) TrueCardinalities() map[int]int64 {
 	out := make(map[int]int64, len(q.ops))
-	for id, op := range q.ops {
-		out[id] = op.Counters().Rows
+	for _, c := range q.all {
+		out[c.NodeID] += c.Rows
 	}
 	return out
 }

@@ -29,6 +29,14 @@ func newTableScan(n *plan.Node) *tableScan {
 func (s *tableScan) Open(ctx *Ctx) {
 	s.opened(ctx)
 	h := ctx.DB.Heap(s.node.Table)
+	if ctx.Parts > 1 {
+		// Parallel worker: claim this worker's contiguous page range. The
+		// per-partition PagesTotal values sum exactly to the serial total,
+		// so aggregated per-thread DMV rows match a serial scan's.
+		s.cur = h.PartitionCursor(ctx.DB.Pool, ctx.Part, ctx.Parts)
+		s.c.PagesTotal = h.PartitionPages(ctx.Part, ctx.Parts)
+		return
+	}
 	s.cur = h.Cursor(ctx.DB.Pool)
 	s.c.PagesTotal = h.NumPages()
 }
@@ -107,14 +115,23 @@ func newIndexScan(n *plan.Node) *indexScan {
 func (s *indexScan) Open(ctx *Ctx) {
 	s.opened(ctx)
 	bt := ctx.DB.BTree(s.node.Table, s.node.Index)
-	s.cur = bt.ScanAll(ctx.DB.Pool)
 	s.heap = ctx.DB.Heap(s.node.Table)
+	if ctx.Parts > 1 {
+		s.cur = bt.ScanPartition(ctx.DB.Pool, ctx.Part, ctx.Parts)
+		s.c.PagesTotal = bt.PartitionLeafPages(ctx.Part, ctx.Parts)
+		return
+	}
+	s.cur = bt.ScanAll(ctx.DB.Pool)
 	s.c.PagesTotal = bt.NumLeafPages()
 }
 
 func (s *indexScan) Rewind(ctx *Ctx) {
 	s.c.Rebinds++
 	bt := ctx.DB.BTree(s.node.Table, s.node.Index)
+	if ctx.Parts > 1 {
+		s.cur = bt.ScanPartition(ctx.DB.Pool, ctx.Part, ctx.Parts)
+		return
+	}
 	s.cur = bt.ScanAll(ctx.DB.Pool)
 }
 
@@ -193,8 +210,11 @@ type columnstoreScan struct {
 	cs    *storage.ColumnStore
 	cols  []int
 	group int
-	buf   []types.Row
-	pos   int
+	// gLo/gHi bound the row groups this instance reads: the full range
+	// serially, one contiguous partition per parallel worker.
+	gLo, gHi int
+	buf      []types.Row
+	pos      int
 }
 
 func newColumnstoreScan(n *plan.Node) *columnstoreScan {
@@ -213,13 +233,20 @@ func (s *columnstoreScan) Open(ctx *Ctx) {
 			s.cols[i] = i
 		}
 	}
-	s.c.SegmentsTotal = s.cs.TotalSegments(len(s.cols))
+	s.gLo, s.gHi = 0, s.cs.NumRowGroups()
+	if ctx.Parts > 1 {
+		s.gLo, s.gHi = s.cs.PartitionGroups(ctx.Part, ctx.Parts)
+		s.c.SegmentsTotal = int64(s.gHi-s.gLo) * int64(len(s.cols))
+	} else {
+		s.c.SegmentsTotal = s.cs.TotalSegments(len(s.cols))
+	}
+	s.group = s.gLo
 	s.c.PagesTotal = s.c.SegmentsTotal
 }
 
 func (s *columnstoreScan) Rewind(ctx *Ctx) {
 	s.c.Rebinds++
-	s.group = 0
+	s.group = s.gLo
 	s.buf = nil
 	s.pos = 0
 }
@@ -232,7 +259,7 @@ func (s *columnstoreScan) Next(ctx *Ctx) (types.Row, bool) {
 			s.emit()
 			return row, true
 		}
-		if s.group >= s.cs.NumRowGroups() {
+		if s.group >= s.gHi {
 			return nil, false
 		}
 		var io storage.IOCounts

@@ -181,13 +181,32 @@ func (t *BTree) ScanAll(bp *BufferPool) *BTreeCursor {
 	return &BTreeCursor{t: t, bp: bp, lastLeaf: -1}
 }
 
+// PartitionLeafPages returns how many leaf pages partition part of parts
+// covers.
+func (t *BTree) PartitionLeafPages(part, parts int) int64 {
+	lo, hi := partPageRange(t.NumLeafPages(), part, parts)
+	return hi - lo
+}
+
+// ScanPartition returns a cursor over the contiguous leaf-page range
+// assigned to partition part of parts: the range-partitioned parallel
+// ordered scan. Concatenating partition outputs in partition order
+// reproduces the full key order.
+func (t *BTree) ScanPartition(bp *BufferPool, part, parts int) *BTreeCursor {
+	lo, hi := partPageRange(t.NumLeafPages(), part, parts)
+	return &BTreeCursor{t: t, bp: bp, lastLeaf: -1, leaf: int(lo), leafEnd: int(hi), ranged: true}
+}
+
 // BTreeCursor iterates leaf entries in key order, accumulating page I/O.
+// A ranged cursor (ScanPartition) stops at leafEnd.
 type BTreeCursor struct {
 	t        *BTree
 	bp       *BufferPool
 	leaf     int
 	pos      int
 	lastLeaf int
+	leafEnd  int
+	ranged   bool
 	io       IOCounts
 
 	hi    []types.Value
@@ -206,7 +225,7 @@ func (c *BTreeCursor) SetUpper(hi []types.Value, hiInc bool) {
 // Next returns the next entry; ok=false at the end of the range.
 func (c *BTreeCursor) Next() (e IndexEntry, ok bool) {
 	for {
-		if c.leaf >= len(c.t.leaves) {
+		if c.leaf >= len(c.t.leaves) || (c.ranged && c.leaf >= c.leafEnd) {
 			return IndexEntry{}, false
 		}
 		leaf := c.t.leaves[c.leaf]

@@ -213,6 +213,9 @@ func (bp *BufferPool) Publish(reg *obs.Registry) {
 	reg.Gauge("bufferpool/resident_pages").Set(s.Resident)
 }
 
+// Capacity reports the configured page capacity.
+func (bp *BufferPool) Capacity() int { return bp.capacity }
+
 // Resident reports the number of cached pages (for tests).
 func (bp *BufferPool) Resident() int {
 	bp.mu.Lock()

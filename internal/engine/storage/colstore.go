@@ -84,6 +84,14 @@ func (cs *ColumnStore) TotalSegments(accessedCols int) int64 {
 // RowGroupRows returns the number of rows in group g.
 func (cs *ColumnStore) RowGroupRows(g int) int { return cs.groups[g].rows }
 
+// PartitionGroups returns the row-group interval [lo, hi) assigned to
+// partition part of parts: contiguous ranges exactly covering every group,
+// the unit of work a range-partitioned parallel batch-mode scan claims.
+func (cs *ColumnStore) PartitionGroups(part, parts int) (lo, hi int) {
+	l, h := partPageRange(int64(len(cs.groups)), part, parts)
+	return int(l), int(h)
+}
+
 // Segment returns column col's segment of row group g.
 func (cs *ColumnStore) Segment(g, col int) *Segment { return &cs.groups[g].segs[col] }
 

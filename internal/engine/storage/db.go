@@ -116,6 +116,24 @@ func (db *Database) ColumnStore(table, index string) *ColumnStore {
 	return cs
 }
 
+// WorkerView returns a view of the database for one parallel worker: it
+// shares the catalog and the immutable physical structures (heaps, b-trees,
+// columnstores are never mutated mid-query) but carries a private buffer
+// pool of the same capacity and no fault injector. Private pools keep each
+// worker's logical/physical read split a pure function of its own page
+// access sequence — concurrent workers sharing one LRU would make eviction
+// order, and therefore physical-read counts, schedule-dependent.
+func (db *Database) WorkerView() *Database {
+	return &Database{
+		Catalog:   db.Catalog,
+		Pool:      NewBufferPool(db.Pool.Capacity()),
+		heaps:     db.heaps,
+		btrees:    db.btrees,
+		colstores: db.colstores,
+		nextObj:   db.nextObj,
+	}
+}
+
 // BuildAllStats computes histograms for every loaded table.
 func (db *Database) BuildAllStats(buckets int) {
 	for _, t := range db.Catalog.Tables() {

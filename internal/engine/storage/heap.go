@@ -75,23 +75,63 @@ func (h *Heap) RowNoIO(rid int64) types.Row { return h.rows[rid] }
 
 // Cursor returns a sequential scan cursor over the heap.
 func (h *Heap) Cursor(bp *BufferPool) *HeapCursor {
-	return &HeapCursor{h: h, bp: bp, lastPage: -1}
+	return &HeapCursor{h: h, bp: bp, lastPage: -1, end: len(h.rows)}
+}
+
+// partPageRange returns the page interval [lo, hi) assigned to partition
+// part of parts. Ranges are contiguous and exactly cover [0, NumPages), so
+// per-partition page counts always sum to the whole object's — the
+// property that keeps aggregated per-thread PagesTotal identical to a
+// serial scan's.
+func partPageRange(pages int64, part, parts int) (lo, hi int64) {
+	if parts <= 0 {
+		parts = 1
+	}
+	lo = pages * int64(part) / int64(parts)
+	hi = pages * int64(part+1) / int64(parts)
+	return lo, hi
+}
+
+// PartitionPages returns how many pages partition part of parts covers.
+func (h *Heap) PartitionPages(part, parts int) int64 {
+	lo, hi := partPageRange(h.NumPages(), part, parts)
+	return hi - lo
+}
+
+// PartitionCursor returns a cursor over the page range assigned to
+// partition part of parts: the range-partitioned parallel scan. Partitions
+// are contiguous, so concatenating partition outputs in partition order
+// reproduces the serial scan order exactly.
+func (h *Heap) PartitionCursor(bp *BufferPool, part, parts int) *HeapCursor {
+	pLo, pHi := partPageRange(h.NumPages(), part, parts)
+	start := int(pLo) * h.rowsPerPage
+	end := int(pHi) * h.rowsPerPage
+	if end > len(h.rows) {
+		end = len(h.rows)
+	}
+	if start > end {
+		start = end
+	}
+	return &HeapCursor{h: h, bp: bp, lastPage: -1, pos: start, start: start, end: end}
 }
 
 // HeapCursor iterates the heap in storage order, accumulating I/O counts
 // as it crosses page boundaries. Operators drain the counts after each
-// Next call and charge the virtual clock accordingly.
+// Next call and charge the virtual clock accordingly. A partition cursor
+// restricts iteration to [start, end).
 type HeapCursor struct {
 	h        *Heap
 	bp       *BufferPool
 	pos      int
+	start    int
+	end      int
 	lastPage int
 	io       IOCounts
 }
 
 // Next returns the next row and its RID; ok=false at end of heap.
 func (c *HeapCursor) Next() (row types.Row, rid int64, ok bool) {
-	if c.pos >= len(c.h.rows) {
+	if c.pos >= c.end {
 		return nil, 0, false
 	}
 	page := c.pos / c.h.rowsPerPage
@@ -112,8 +152,9 @@ func (c *HeapCursor) DrainIO() IOCounts {
 	return out
 }
 
-// Reset rewinds the cursor to the beginning (used by rescans).
+// Reset rewinds the cursor to the beginning of its range (used by
+// rescans).
 func (c *HeapCursor) Reset() {
-	c.pos = 0
+	c.pos = c.start
 	c.lastPage = -1
 }

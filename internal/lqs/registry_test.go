@@ -23,12 +23,6 @@ func TestRegistryConcurrentPolling(t *testing.T) {
 	go func() {
 		n := 0
 		for {
-			select {
-			case <-stop:
-				polls <- n
-				return
-			default:
-			}
 			for _, qi := range reg.List() {
 				n++
 				if qi.Progress < 0 || qi.Progress > 1 {
@@ -37,6 +31,15 @@ func TestRegistryConcurrentPolling(t *testing.T) {
 				if qi.Rows < 0 {
 					t.Errorf("negative row count: %+v", qi)
 				}
+			}
+			// Check stop only after a full List pass so the poller observes
+			// the registry at least once even if both queries finish before
+			// this goroutine is first scheduled.
+			select {
+			case <-stop:
+				polls <- n
+				return
+			default:
 			}
 		}
 	}()

@@ -61,9 +61,18 @@ func Attach(q *exec.Query, db *storage.Database, o progress.Options) *Session {
 // Start builds, estimates, and prepares a query over the database, ready
 // to Step and Snapshot. It is the one-stop entry point the examples use.
 func Start(db *storage.Database, root *plan.Node, o progress.Options) *Session {
-	p := plan.Finalize(root)
+	return StartDOP(db, root, 1, o)
+}
+
+// StartDOP is Start at an explicit degree of parallelism: the plan is
+// rewritten with parallel zones (plan.Parallelize) before finalization and
+// executed with dop workers per gather. The estimator is unchanged — it
+// consumes aggregated counters, exactly as LQS estimates parallel plans
+// from the per-thread DMV rows the server emits.
+func StartDOP(db *storage.Database, root *plan.Node, dop int, o progress.Options) *Session {
+	p := plan.Finalize(plan.Parallelize(root, dop))
 	opt.NewEstimator(db.Catalog).Estimate(p)
-	q := exec.NewQuery(p, db, opt.DefaultCostModel(), sim.NewClock())
+	q := exec.NewQueryDOP(p, db, opt.DefaultCostModel(), sim.NewClock(), dop)
 	return Attach(q, db, o)
 }
 
@@ -103,6 +112,22 @@ type OpStatus struct {
 	Done      bool
 }
 
+// ThreadStatus is one raw per-thread DMV row's display state: the
+// drill-down behind an operator's aggregated counters on a parallel plan,
+// the analog of expanding a node's per-thread rows in
+// sys.dm_exec_query_profiles. Thread 0 is the coordinator instance of an
+// operator; threads 1..DOP are gather workers.
+type ThreadStatus struct {
+	NodeID    int
+	ThreadID  int
+	Name      string
+	RowsSoFar int64
+	CPUTime   sim.Duration
+	IOTime    sim.Duration
+	Active    bool
+	Done      bool
+}
+
 // QuerySnapshot is one poll's worth of display state.
 type QuerySnapshot struct {
 	At       sim.Duration
@@ -110,6 +135,10 @@ type QuerySnapshot struct {
 	State    exec.QueryState
 	Err      error      // terminal error, if State is CANCELLED or FAILED
 	Ops      []OpStatus // indexed by node ID
+	// Threads holds the raw per-(node, thread) rows behind Ops, sorted by
+	// (NodeID, ThreadID). Serial plans contribute one thread-0 row per node;
+	// operators inside a parallel zone contribute one row per worker.
+	Threads []ThreadStatus
 	// ActivePipelines marks pipelines with work in flight — the animated
 	// dotted arrows of the SSMS visualization.
 	ActivePipelines []bool
@@ -171,6 +200,19 @@ func (s *Session) snapshot(snap *dmv.Snapshot) *QuerySnapshot {
 	for _, pl := range s.Estimator.Decomp.Pipelines {
 		prog := est.PipelineProg[pl.ID]
 		out.ActivePipelines[pl.ID] = prog > 0 && prog < 1
+	}
+	out.Threads = make([]ThreadStatus, 0, len(snap.Threads))
+	for _, th := range snap.Threads {
+		out.Threads = append(out.Threads, ThreadStatus{
+			NodeID:    th.NodeID,
+			ThreadID:  th.ThreadID,
+			Name:      th.Physical.String(),
+			RowsSoFar: th.ActualRows,
+			CPUTime:   th.CPUTime,
+			IOTime:    th.IOTime,
+			Active:    th.Opened && !th.Closed,
+			Done:      th.Closed,
+		})
 	}
 	return out
 }
@@ -270,6 +312,41 @@ func (s *Session) Render(q *QuerySnapshot) string {
 	return sb.String()
 }
 
+// RenderThreads draws the per-thread drill-down for every operator that
+// runs on more than one thread in the snapshot — the text analog of
+// expanding a parallel operator's per-thread rows in the SSMS grid. Serial
+// snapshots (one thread-0 row everywhere) render as an empty string.
+func (s *Session) RenderThreads(q *QuerySnapshot) string {
+	perNode := make(map[int][]ThreadStatus)
+	for _, th := range q.Threads {
+		perNode[th.NodeID] = append(perNode[th.NodeID], th)
+	}
+	var sb strings.Builder
+	for _, n := range s.plan.Nodes {
+		rows := perNode[n.ID]
+		if len(rows) < 2 {
+			continue
+		}
+		var total int64
+		for _, th := range rows {
+			total += th.RowsSoFar
+		}
+		fmt.Fprintf(&sb, "[%d] %s  threads=%d  rows=%d\n", n.ID, n.Physical, len(rows), total)
+		for _, th := range rows {
+			state := "pending"
+			switch {
+			case th.Done:
+				state = "done"
+			case th.Active:
+				state = "active"
+			}
+			fmt.Fprintf(&sb, "   thread %d: rows=%-8d cpu=%-12v io=%-12v %s\n",
+				th.ThreadID, th.RowsSoFar, th.CPUTime, th.IOTime, state)
+		}
+	}
+	return sb.String()
+}
+
 func bar(frac float64, width int) string {
 	full := int(frac * float64(width))
 	if full > width {
@@ -286,8 +363,12 @@ func bar(frac float64, width int) string {
 // the terminal error (nil on success). It is the loop cmd/lqsmon and the
 // examples drive. Observation stops the moment the query leaves the Running
 // state: a cancelled or failed query gets one final snapshot — carrying the
-// terminal State and Err — and no further polls.
+// terminal State and Err — and no further polls. A nil observe runs the
+// query to completion without snapshots.
 func (s *Session) Monitor(interval sim.Duration, observe func(*QuerySnapshot)) (int64, error) {
+	if observe == nil {
+		observe = func(*QuerySnapshot) {}
+	}
 	obs := s.Query.Ctx.Clock.Observe(interval, func(sim.Duration) {
 		if s.Query.State() == exec.StateRunning {
 			observe(s.Snapshot())

@@ -57,6 +57,25 @@ func TestEventTraceDeterminism(t *testing.T) {
 	}
 }
 
+// TestEventTraceDeterminismDOP covers the per-thread track layer: a DOP-4
+// run's Chrome export validates, shows worker tracks, and is byte-identical
+// across repeated runs — worker trace recorders merge deterministically.
+func TestEventTraceDeterminismDOP(t *testing.T) {
+	w := parallelTestWorkload(t)
+	r1 := chromeDigest(t, w, Runner{Parallel: 1, Limit: 6, DOP: 4})
+	r2 := chromeDigest(t, w, Runner{Parallel: 1, Limit: 6, DOP: 4})
+	if r1 != r2 {
+		t.Fatal("two DOP-4 runs emitted different trace JSON")
+	}
+	if !strings.Contains(r1, "(worker ") {
+		t.Fatal("DOP-4 export has no worker tracks")
+	}
+	serial := chromeDigest(t, w, Runner{Parallel: 1, Limit: 6})
+	if serial == r1 {
+		t.Fatal("DOP-4 export identical to serial — parallel zones not traced")
+	}
+}
+
 // TestTraceQueryEventsCapSemantics pins the EventCap contract: 0 disables
 // recording, negative selects the default capacity, and a small positive
 // cap bounds the ring while counting what it dropped.

@@ -61,13 +61,24 @@ func TraceQuery(w *workload.Workload, q workload.Query, interval sim.Duration) (
 // a given workload the returned events are a pure function of the query —
 // the parallel harness's byte-identical-trace guarantee extends to them.
 func TraceQueryEvents(w *workload.Workload, q workload.Query, interval sim.Duration, eventCap int) (*plan.Plan, *dmv.Trace, *trace.Recorder) {
+	return TraceQueryEventsDOP(w, q, interval, eventCap, 1)
+}
+
+// TraceQueryEventsDOP is TraceQueryEvents at an explicit degree of
+// parallelism: the plan is rewritten with plan.Parallelize before
+// finalization and executed with dop workers per gather. Result rows and
+// final aggregated counters are byte-identical to the serial run; only the
+// simulated elapsed time (and the per-thread DMV rows) differ.
+func TraceQueryEventsDOP(w *workload.Workload, q workload.Query, interval sim.Duration, eventCap, dop int) (*plan.Plan, *dmv.Trace, *trace.Recorder) {
 	tracedQueries.Add(1)
-	p := plan.Finalize(q.Build(w.Builder()))
+	root := q.Build(w.Builder())
+	root = plan.Parallelize(root, dop)
+	p := plan.Finalize(root)
 	opt.NewEstimator(w.DB.Catalog).Estimate(p)
 	clock := sim.NewClock()
 	poller := dmv.NewPoller(clock, interval)
 	w.DB.ColdStart()
-	query := exec.NewQuery(p, w.DB, opt.DefaultCostModel(), clock)
+	query := exec.NewQueryDOP(p, w.DB, opt.DefaultCostModel(), clock, dop)
 	var rec *trace.Recorder
 	if eventCap != 0 {
 		if eventCap < 0 {
@@ -101,6 +112,11 @@ type Runner struct {
 	// capacity passed to TraceQueryEvents (negative for the default;
 	// 0 leaves event tracing off).
 	EventCap int
+	// DOP is each traced query's degree of parallelism (0/1 = serial):
+	// plans are rewritten with plan.Parallelize and executed with DOP
+	// workers per gather. Orthogonal to Parallel, which fans queries out
+	// across harness workers.
+	DOP int
 }
 
 // TraceArtifacts bundles everything one traced query produced: the query,
@@ -111,6 +127,14 @@ type TraceArtifacts struct {
 	Plan   *plan.Plan
 	Trace  *dmv.Trace
 	Events *trace.Recorder
+}
+
+// dop normalizes the Runner's DOP field (0 means serial).
+func (r Runner) dop() int {
+	if r.DOP < 1 {
+		return 1
+	}
+	return r.DOP
 }
 
 // positions lists the query indices the runner will visit, in order.
@@ -160,7 +184,7 @@ func (r Runner) ForEachArtifacts(w *workload.Workload, fn func(a TraceArtifacts)
 				break
 			}
 			q := w.Queries[i]
-			p, tr, rec := TraceQueryEvents(w, q, interval, r.EventCap)
+			p, tr, rec := TraceQueryEventsDOP(w, q, interval, r.EventCap, r.dop())
 			if len(tr.Snapshots) < MinSnapshots {
 				continue
 			}
@@ -197,7 +221,7 @@ func (r Runner) ForEachArtifacts(w *workload.Workload, fn func(a TraceArtifacts)
 				if local == nil {
 					local = w.Gen()
 				}
-				p, tr, rec := TraceQueryEvents(local, local.Queries[idx[pos]], interval, r.EventCap)
+				p, tr, rec := TraceQueryEventsDOP(local, local.Queries[idx[pos]], interval, r.EventCap, r.dop())
 				results[pos] <- result{p, tr, rec}
 			}
 		}()

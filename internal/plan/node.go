@@ -233,6 +233,16 @@ type Node struct {
 	// of the Parallelism operator (paper §4.4, Fig. 8).
 	ExchangeStartup int
 	ExchangeAhead   int
+	// ExchangeDOP is the degree of parallelism a GatherStreams exchange
+	// runs its subtree at (0/1 = the serial producer-runs-ahead
+	// simulation). The executor only honors it when the query's own DOP
+	// allows and the subtree is range-partitionable.
+	ExchangeDOP int
+	// ExchangeHashCols, on a RepartitionStreams exchange, are the
+	// child-output ordinals rows are hash-distributed on; rows with equal
+	// hash keys land on the same consumer thread, which is what makes a
+	// per-thread aggregate above the repartition exact.
+	ExchangeHashCols []int
 	// NLBuffer is how many outer rows a nested-loops join batches before
 	// probing the inner side (0 = executor default). Large values
 	// reproduce §4.4's "all outer rows consumed and buffered before any

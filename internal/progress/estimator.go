@@ -82,8 +82,11 @@ func NewEstimator(p *plan.Plan, cat *catalog.Catalog, opt Options) *Estimator {
 	return e
 }
 
-// Estimate computes progress from one DMV snapshot.
+// Estimate computes progress from one DMV snapshot. Per-thread snapshots
+// of parallel queries are aggregated to one profile per node first; the
+// estimator itself is DOP-oblivious, exactly like the paper's client.
 func (e *Estimator) Estimate(snap *dmv.Snapshot) *Estimate {
+	snap.Aggregate()
 	est := &Estimate{
 		At: snap.At,
 		Op: make([]float64, len(e.Plan.Nodes)),

@@ -141,6 +141,7 @@ type Explanation struct {
 // Estimate call — same refinement, same monotone state updates (an Explain
 // counts as a poll) — with every intermediate recorded.
 func (e *Estimator) Explain(snap *dmv.Snapshot) (*Explanation, *Estimate) {
+	snap.Aggregate()
 	x := &Explanation{
 		At:    snap.At,
 		Plan:  e.Plan,

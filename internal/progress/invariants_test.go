@@ -110,6 +110,90 @@ func TestRandomPlanInvariants(t *testing.T) {
 	}
 }
 
+// TestParallelPlanInvariants is the DOP sweep of the property battery:
+// random plans run serially and with parallel zones at DOP 2 and 4, their
+// poll traces estimated under the three query-progress modes (TGN, driver-
+// node, weighted/LQS) with the display monotone clamp on. Per-thread DMV
+// rows must be invisible to the estimator: progress stays in [0, 1], never
+// regresses across polls, reaches (near-)completion at the end, and the
+// Explain decomposition's per-operator contributions sum to the raw query
+// progress at every poll — the estimator remains a client of aggregated
+// counters exactly as LQS is a client of the real DMV.
+func TestParallelPlanInvariants(t *testing.T) {
+	cfg := workload.SynthConfig{
+		Name: "PFUZZ", Seed: 20260806,
+		NumTables: 6, MinRows: 300, MaxRows: 4000,
+		NumQueries: 12, MinJoins: 1, MaxJoins: 4,
+		GroupByFrac: 0.5,
+	}
+	w := workload.Synth(cfg)
+	modes := map[string]Options{
+		"TGN": TGNOptions(),
+		"DNE": DNEOptions(),
+		"LQS": LQSOptions(),
+	}
+	queries := w.Queries
+	if testing.Short() {
+		queries = queries[:4]
+	}
+	for _, q := range queries {
+		for _, dop := range []int{1, 2, 4} {
+			root := plan.Parallelize(q.Build(w.Builder()), dop)
+			p := plan.Finalize(root)
+			opt.NewEstimator(w.DB.Catalog).Estimate(p)
+			clock := sim.NewClock()
+			poller := dmv.NewPoller(clock, 150*time.Microsecond)
+			w.DB.ColdStart()
+			query := exec.NewQueryDOP(p, w.DB, opt.DefaultCostModel(), clock, dop)
+			poller.Register(query)
+			if _, err := query.Run(); err != nil {
+				t.Fatalf("%s dop=%d: %v", q.Name, dop, err)
+			}
+			tr := poller.Finish(query)
+			snaps := append(append([]*dmv.Snapshot{}, tr.Snapshots...), tr.Final)
+			for name, o := range modes {
+				o.Monotone = true
+				est := NewEstimator(p, w.DB.Catalog, o)
+				last := 0.0
+				for si, s := range snaps {
+					x, e := est.Explain(s)
+					if e.Query < 0 || e.Query > 1 || math.IsNaN(e.Query) {
+						t.Fatalf("%s/%s dop=%d snap %d: query progress %v", q.Name, name, dop, si, e.Query)
+					}
+					if e.Query < last {
+						t.Fatalf("%s/%s dop=%d snap %d: progress regressed %v -> %v under Monotone",
+							q.Name, name, dop, si, last, e.Query)
+					}
+					last = e.Query
+					var sum float64
+					for _, term := range x.Terms {
+						sum += term.Contribution
+					}
+					if math.IsNaN(x.RawQuery) || math.Abs(sum-x.RawQuery) > 1e-6 {
+						t.Fatalf("%s/%s dop=%d snap %d: contributions sum %v != raw progress %v",
+							q.Name, name, dop, si, sum, x.RawQuery)
+					}
+					for id, opProg := range e.Op {
+						if opProg < 0 || opProg > 1 || math.IsNaN(opProg) {
+							t.Fatalf("%s/%s dop=%d snap %d node %d: op progress %v",
+								q.Name, name, dop, si, id, opProg)
+						}
+					}
+				}
+				// Completion: refinement guarantees 100%; the baselines may
+				// end short when estimates are off but must be near done.
+				minFinal := 0.99
+				if !o.Refine {
+					minFinal = 0.6
+				}
+				if last < minFinal {
+					t.Fatalf("%s/%s dop=%d: final query progress %v", q.Name, name, dop, last)
+				}
+			}
+		}
+	}
+}
+
 // TestEstimatePureFunction: estimating the same snapshot twice yields
 // identical results (the estimator holds no hidden mutable state between
 // polls, so a client can re-evaluate history freely).

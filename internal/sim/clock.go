@@ -59,6 +59,17 @@ func (o *Observation) Stop() {
 // NewClock returns a clock at time zero.
 func NewClock() *Clock { return &Clock{} }
 
+// NewClockAt returns a clock pre-advanced to t with no observers: the
+// private sub-clock a parallel worker charges its share of the query's
+// work against, starting from the virtual instant its exchange zone
+// opened. It panics on negative t (simulated time is monotone from zero).
+func NewClockAt(t Duration) *Clock {
+	if t < 0 {
+		panic(fmt.Sprintf("sim: clock cannot start at negative time %v", t))
+	}
+	return &Clock{now: t}
+}
+
 // Now returns the current virtual time.
 func (c *Clock) Now() Duration { return c.now }
 

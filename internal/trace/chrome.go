@@ -14,8 +14,12 @@ import (
 //
 // Track layout:
 //
-//	tid 0            query lifecycle (state transitions)
-//	tid nodeID+1     operator tracks, named "[id] Physical Op"
+//	tid 0                        query lifecycle (state transitions)
+//	tid nodeID+1                 coordinator operator tracks, "[id] Physical Op"
+//	tid thread*1000 + nodeID+1   parallel-worker instances of an operator,
+//	                             "[id] Physical Op (worker w)" — one track
+//	                             per (node, thread), so a gather zone shows
+//	                             its workers side by side on the timeline
 //
 // Events marshal through fixed-field structs (never maps), so the same
 // event stream always encodes to the same bytes — the determinism tests
@@ -60,20 +64,30 @@ func Chrome(r *Recorder, queryName string, pid int) ([]byte, error) {
 		doc.TraceEvents = append(doc.TraceEvents, ev)
 	}
 
+	// tid maps an event to its track: worker events (Thread > 0) get their
+	// own track per (thread, node) so parallel zones render one lane per
+	// worker instance of each operator.
+	tid := func(ev Event) int { return ev.Thread*1000 + ev.NodeID + 1 }
+
 	// Process metadata, then one thread_name per operator track discovered
 	// from its Open event (held in event order, so metadata order is
 	// deterministic too).
 	add(chromeEvent{Name: "process_name", Ph: "M", Args: &chromeArgs{Name: queryName}})
 	add(chromeEvent{Name: "thread_name", Ph: "M", Tid: 0, Args: &chromeArgs{Name: "query lifecycle"}})
 	opName := make(map[int]string)
+	named := make(map[int]bool)
 	for _, ev := range events {
 		if ev.Kind == KindOpen {
 			if _, ok := opName[ev.NodeID]; !ok {
 				opName[ev.NodeID] = ev.Name
-				add(chromeEvent{
-					Name: "thread_name", Ph: "M", Tid: ev.NodeID + 1,
-					Args: &chromeArgs{Name: fmt.Sprintf("[%d] %s", ev.NodeID, ev.Name)},
-				})
+			}
+			if tr := tid(ev); !named[tr] {
+				named[tr] = true
+				label := fmt.Sprintf("[%d] %s", ev.NodeID, ev.Name)
+				if ev.Thread > 0 {
+					label = fmt.Sprintf("[%d] %s (worker %d)", ev.NodeID, ev.Name, ev.Thread-1)
+				}
+				add(chromeEvent{Name: "thread_name", Ph: "M", Tid: tr, Args: &chromeArgs{Name: label}})
 			}
 		}
 	}
@@ -88,26 +102,26 @@ func Chrome(r *Recorder, queryName string, pid int) ([]byte, error) {
 		ts := usec(int64(ev.At))
 		switch ev.Kind {
 		case KindOpen:
-			add(chromeEvent{Name: ev.Name, Ph: "B", Ts: ts, Tid: ev.NodeID + 1})
+			add(chromeEvent{Name: ev.Name, Ph: "B", Ts: ts, Tid: tid(ev)})
 		case KindClose:
 			rows := ev.Rows
-			add(chromeEvent{Name: name(ev.NodeID), Ph: "E", Ts: ts, Tid: ev.NodeID + 1, Args: &chromeArgs{Rows: &rows}})
+			add(chromeEvent{Name: name(ev.NodeID), Ph: "E", Ts: ts, Tid: tid(ev), Args: &chromeArgs{Rows: &rows}})
 		case KindRowBatch:
 			rows := ev.Rows
 			add(chromeEvent{
 				Name: fmt.Sprintf("rows [%d] %s", ev.NodeID, name(ev.NodeID)),
-				Ph:   "C", Ts: ts, Tid: ev.NodeID + 1, Args: &chromeArgs{Rows: &rows},
+				Ph:   "C", Ts: ts, Tid: tid(ev), Args: &chromeArgs{Rows: &rows},
 			})
 		case KindSpillBegin:
 			rows := ev.Rows
-			add(chromeEvent{Name: "spill: " + ev.Name, Ph: "B", Ts: ts, Tid: ev.NodeID + 1, Args: &chromeArgs{Rows: &rows}})
+			add(chromeEvent{Name: "spill: " + ev.Name, Ph: "B", Ts: ts, Tid: tid(ev), Args: &chromeArgs{Rows: &rows}})
 		case KindSpillEnd:
-			add(chromeEvent{Name: "spill", Ph: "E", Ts: ts, Tid: ev.NodeID + 1})
+			add(chromeEvent{Name: "spill", Ph: "E", Ts: ts, Tid: tid(ev)})
 		case KindMemDegrade:
-			add(chromeEvent{Name: "memory-grant degrade", Ph: "i", Ts: ts, Tid: ev.NodeID + 1, S: "t", Args: &chromeArgs{Detail: ev.Name}})
+			add(chromeEvent{Name: "memory-grant degrade", Ph: "i", Ts: ts, Tid: tid(ev), S: "t", Args: &chromeArgs{Detail: ev.Name}})
 		case KindIORetry:
 			rows := ev.Rows
-			add(chromeEvent{Name: "io-retry", Ph: "i", Ts: ts, Tid: ev.NodeID + 1, S: "t", Args: &chromeArgs{Rows: &rows}})
+			add(chromeEvent{Name: "io-retry", Ph: "i", Ts: ts, Tid: tid(ev), S: "t", Args: &chromeArgs{Rows: &rows}})
 		case KindState:
 			add(chromeEvent{Name: "state: " + ev.Name, Ph: "i", Ts: ts, Tid: 0, S: "p"})
 		}

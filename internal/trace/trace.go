@@ -72,6 +72,11 @@ type Event struct {
 	Kind   Kind
 	At     sim.Duration
 	NodeID int
+	// Thread is the DMV thread ordinal that produced the event: 0 for the
+	// coordinator, w+1 for parallel worker w. Worker events are recorded on
+	// private per-worker recorders and merged into the query's recorder
+	// (tagged with their thread) when the gather shuts down.
+	Thread int
 	Name   string
 	Rows   int64
 }
@@ -136,6 +141,27 @@ func (r *Recorder) RowBatch(nodeID int, rows int64) {
 		return
 	}
 	r.Record(KindRowBatch, nodeID, "", rows)
+}
+
+// Ingest appends pre-stamped events — typically a parallel worker's merged
+// stream — preserving their At and Thread fields, with the same
+// flight-recorder overwrite semantics as Record. Callers are responsible
+// for ordering; the Chrome exporter keys tracks on (thread, node), so
+// per-thread streams only need to be monotone within themselves.
+func (r *Recorder) Ingest(evs []Event) {
+	for _, ev := range evs {
+		if len(r.buf) < cap(r.buf) {
+			r.buf = append(r.buf, ev)
+			r.n++
+			continue
+		}
+		r.buf[r.head] = ev
+		r.head++
+		if r.head == len(r.buf) {
+			r.head = 0
+		}
+		r.dropped++
+	}
 }
 
 // Len returns the number of retained events.

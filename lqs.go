@@ -142,6 +142,14 @@ func Start(db *Database, root *PlanNode, o Options) *Session {
 	return lqs.Start(db, root, o)
 }
 
+// StartDOP is Start with intra-query parallelism: the plan is rewritten
+// with exchange operators over its partitionable scans and those zones
+// run on dop worker threads. Results and aggregated counters match the
+// serial session; dop <= 1 behaves exactly like Start.
+func StartDOP(db *Database, root *PlanNode, dop int, o Options) *Session {
+	return lqs.StartDOP(db, root, dop, o)
+}
+
 // Estimate attaches optimizer cardinality and cost estimates to a
 // finalized plan (Start does this automatically).
 func EstimatePlan(cat *Catalog, p *Plan) { opt.NewEstimator(cat).Estimate(p) }
