@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all vet build test race bench trace-smoke fuzz-smoke ci
+.PHONY: all vet build test race bench trace-smoke fuzz-smoke chaos-smoke ci
 
 all: ci
 
@@ -15,10 +15,11 @@ test:
 
 # The concurrency-sensitive packages: registry-driven concurrent queries,
 # cross-goroutine snapshot capture, the buffer-pool latch, the parallel
-# tracing harness (worker pool + ordered merge), and the intra-query
-# parallel executor (gather workers + per-thread counters + estimator).
+# tracing harness (worker pool + ordered merge), the intra-query parallel
+# executor (gather workers + per-thread counters + estimator), and the
+# chaos harness (fault injection into parallel workers and the poller).
 race:
-	$(GO) test -race ./internal/lqs/... ./internal/engine/dmv/... ./internal/metrics/... ./internal/trace/... ./internal/obs/... ./internal/engine/exec/... ./internal/progress/...
+	$(GO) test -race ./internal/lqs/... ./internal/engine/dmv/... ./internal/metrics/... ./internal/trace/... ./internal/obs/... ./internal/engine/exec/... ./internal/progress/... ./internal/chaos/...
 
 # Short coverage-guided runs of every native fuzz target: the DMV
 # per-thread aggregation and the progress estimator fed adversarial
@@ -27,6 +28,15 @@ race:
 fuzz-smoke:
 	$(GO) test ./internal/engine/dmv/ -run '^$$' -fuzz FuzzAggregateThreads -fuzztime 10s
 	$(GO) test ./internal/progress/ -run '^$$' -fuzz FuzzEstimator -fuzztime 200x
+	$(GO) test ./internal/progress/ -run '^$$' -fuzz FuzzDegradedSnapshot -fuzztime 200x
+
+# Quick chaos differential battery through the CLI entry point: a reduced
+# (workload x DOP x fault-rate) grid where every chaos run must either be
+# byte-identical to the fault-free reference or fail with a typed error,
+# with estimator invariants checked at every poll. Exits non-zero on any
+# contract violation.
+chaos-smoke:
+	$(GO) run ./cmd/lqsbench -chaos -chaos-seed 7
 
 # Quick-mode suite with parallel tracing; machine-readable timings (with
 # speedup vs a serial reference pass) land in bench.json.
@@ -43,4 +53,4 @@ trace-smoke:
 	@ls .trace-smoke/*.trace.json .trace-smoke/*.explain.txt > /dev/null
 	@rm -rf .trace-smoke && echo "trace-smoke: OK"
 
-ci: vet build test race trace-smoke fuzz-smoke
+ci: vet build test race trace-smoke fuzz-smoke chaos-smoke

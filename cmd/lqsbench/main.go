@@ -15,6 +15,8 @@
 //
 //	lqsbench -run none -trace-dir out   # per-query Chrome traces + explains
 //	lqsbench -metrics                   # dump the metrics registry at exit
+//	lqsbench -chaos                     # run the chaos differential battery
+//	lqsbench -chaos -full -chaos-seed 7 # full fault grid under another seed
 //
 // Output is byte-identical at every -parallel setting: workers trace
 // against private regenerated workloads and results merge in query order.
@@ -33,6 +35,7 @@ import (
 	"strings"
 	"time"
 
+	"lqs/internal/chaos"
 	"lqs/internal/engine/dmv"
 	"lqs/internal/experiments"
 	"lqs/internal/metrics"
@@ -81,8 +84,33 @@ func main() {
 		traceWl  = flag.String("trace-workload", "tpch", "workload to trace for -trace-dir: tpch, tpch-cs, tpcds, real1, real2, real3")
 		traceLim = flag.Int("trace-limit", 4, "queries to trace for -trace-dir (0 = all)")
 		dumpObs  = flag.Bool("metrics", false, "dump the metrics registry (pool counters, estimator-error histograms) on exit")
+		chaosRun = flag.Bool("chaos", false, "run the chaos differential battery (TPC-H/TPC-DS x DOP x fault-rate grid) and exit non-zero on contract violations")
+		chaosSd  = flag.Uint64("chaos-seed", 42, "master seed for the -chaos battery")
 	)
 	flag.Parse()
+
+	if *chaosRun {
+		cfg := chaos.GridConfig{Seed: *chaosSd, RetryOnCrash: 2}
+		if !*full {
+			// Quick grid: a workload+DOP subset dense enough to exercise every
+			// layer; -full covers both workloads at DOP 1/2/4 over the full
+			// rate grid.
+			cfg.Workloads = []string{"tpch"}
+			cfg.QueriesPerWorkload = 2
+			cfg.DOPs = []int{1, 4}
+			cfg.Rates = []float64{0, 0.002}
+		}
+		rep, err := chaos.Run(cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Print(rep.Render())
+		if len(rep.Violations()) > 0 {
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *list {
 		for _, id := range experiments.IDs() {

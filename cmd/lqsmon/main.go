@@ -12,6 +12,8 @@
 //	lqsmon -explain                # per-operator estimate decomposition
 //	lqsmon -dop 4                  # run parallel zones with 4 workers
 //	lqsmon -dop 4 -threads        # …and show the per-thread drill-down
+//	lqsmon -chaos 0.002            # inject seeded cross-layer faults at
+//	                               # this rate; degraded frames are marked
 //	lqsmon -list                   # list available queries
 package main
 
@@ -22,6 +24,7 @@ import (
 	"strings"
 	"time"
 
+	"lqs/internal/chaos"
 	"lqs/internal/engine/exec"
 	"lqs/internal/lqs"
 	"lqs/internal/progress"
@@ -40,6 +43,8 @@ func main() {
 		threads  = flag.Bool("threads", false, "render the per-thread DMV drill-down under each frame")
 		seed     = flag.Uint64("seed", 42, "workload seed")
 		list     = flag.Bool("list", false, "list query names and exit")
+		rate     = flag.Float64("chaos", 0, "cross-layer fault rate (0 disables); scales every chaos injector via chaos.RateConfig")
+		chaosSd  = flag.Uint64("chaos-seed", 42, "master seed for -chaos fault schedules")
 	)
 	flag.Parse()
 
@@ -80,7 +85,16 @@ func main() {
 		os.Exit(1)
 	}
 
+	var plan *chaos.Plan
+	if *rate > 0 {
+		plan = chaos.NewPlan(chaos.RateConfig(*rate, *chaosSd))
+		w.DB.Pool.SetFaultInjector(plan.StorageInjector())
+	}
 	s := lqs.StartDOP(w.DB, query.Build(w.Builder()), *dop, progress.LQSOptions())
+	if plan != nil {
+		s.Query.Ctx.Chaos = plan.ExecInjector()
+		s.SetSnapshotFault(plan.PollFault())
+	}
 	if *deadline > 0 {
 		s.Query.Ctx.Deadline = *deadline
 	}
@@ -119,11 +133,24 @@ func main() {
 	if last := s.Last(); last != nil {
 		frame(last)
 	}
+	chaosSummary := func() {
+		if plan == nil {
+			return
+		}
+		if fi := w.DB.Pool.FaultInjector(); fi != nil {
+			st := fi.Stats()
+			fmt.Printf("chaos storage faults: %d reads, %d transients, %d retries, %d permanents\n",
+				st.Reads, st.Transients, st.Retries, st.Permanents)
+		}
+		fmt.Printf("chaos: rate=%g seed=%d (same flags replay the same fault schedule)\n", *rate, *chaosSd)
+	}
 	if err != nil {
 		fmt.Printf("\nquery %s after %d rows in %v virtual time (%d frames): %v\n",
 			s.State(), rows, s.Query.Ctx.Clock.Now(), frames, err)
+		chaosSummary()
 		os.Exit(1)
 	}
 	fmt.Printf("\nquery returned %d rows in %v virtual time (%d frames)\n",
 		rows, s.Query.Ctx.Clock.Now(), frames)
+	chaosSummary()
 }

@@ -1,0 +1,76 @@
+package chaos
+
+import (
+	"lqs/internal/engine/dmv"
+	"lqs/internal/sim"
+)
+
+// rowKey identifies one per-(node, thread) profile row across polls.
+type rowKey struct {
+	node, thread int
+}
+
+// pollFault implements dmv.PollFault: per-poll capture stalls and per-row
+// drop/duplicate/stale perturbations. It remembers each key's
+// previous-poll row so a "stale" fault re-delivers genuinely old counters
+// (the regression signature the estimator's repair pass detects), not
+// synthetic ones. Deterministic: rows are visited in the capture's sorted
+// (NodeID, ThreadID) order and all draws come from the layer RNG.
+type pollFault struct {
+	cfg  DMVFaults
+	rng  *sim.RNG
+	prev map[rowKey]dmv.OpProfile
+
+	// Stats, exposed for tests and reports.
+	polls, stalls, drops, dups, stales int64
+}
+
+// OnPoll implements dmv.PollFault.
+func (f *pollFault) OnPoll(at sim.Duration, snap *dmv.Snapshot) (*dmv.Snapshot, bool) {
+	f.polls++
+	if f.cfg.StallProb > 0 && f.rng.Float64() < f.cfg.StallProb {
+		// The capture stalled past the interval: the watchdog discards it,
+		// but the server's row state still advanced.
+		f.stalls++
+		f.remember(snap)
+		return snap, true
+	}
+	changed := false
+	out := make([]dmv.OpProfile, 0, len(snap.Threads))
+	for _, row := range snap.Threads {
+		if f.cfg.DropRowProb > 0 && f.rng.Float64() < f.cfg.DropRowProb {
+			f.drops++
+			changed = true
+			continue
+		}
+		if f.cfg.StaleProb > 0 && f.rng.Float64() < f.cfg.StaleProb {
+			if old, ok := f.prev[rowKey{row.NodeID, row.ThreadID}]; ok {
+				row = old
+				changed = true
+				f.stales++
+			}
+		}
+		out = append(out, row)
+		if f.cfg.DupRowProb > 0 && f.rng.Float64() < f.cfg.DupRowProb {
+			f.dups++
+			changed = true
+			out = append(out, row)
+		}
+	}
+	f.remember(snap)
+	if !changed {
+		return snap, false
+	}
+	// Perturbations are delivered on a private copy with Ops unset so the
+	// consumer aggregates (or repairs) the faulty rows itself; the original
+	// capture is never mutated.
+	return &dmv.Snapshot{At: snap.At, NumNodes: snap.NumNodes, Threads: out}, false
+}
+
+// remember records the capture's true rows as the next poll's "previous"
+// values — staleness replays real history, whatever was delivered.
+func (f *pollFault) remember(snap *dmv.Snapshot) {
+	for _, row := range snap.Threads {
+		f.prev[rowKey{row.NodeID, row.ThreadID}] = row
+	}
+}

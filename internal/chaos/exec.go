@@ -1,0 +1,114 @@
+package chaos
+
+import (
+	"math"
+
+	"lqs/internal/engine/exec"
+	"lqs/internal/sim"
+)
+
+// execInjector implements exec.OpChaos: seeded stalls, crashes, spill
+// failures, and grant denials. Charge checkpoints fire millions of times
+// per query, so stall and crash events are scheduled with geometric
+// countdowns (one RNG draw per event, not per checkpoint); the rarer
+// spill-write and reservation hooks draw directly. Each injector is owned
+// by exactly one executing thread — the coordinator forks worker injectors
+// in gather startup order, so the per-thread streams are deterministic at
+// any DOP without locks.
+type execInjector struct {
+	cfg    ExecFaults
+	rng    *sim.RNG
+	seed   uint64
+	thread int
+	forks  int
+
+	// stallIn/crashIn count down charge checkpoints to the next event;
+	// negative means the event is disabled.
+	stallIn int64
+	crashIn int64
+}
+
+func newExecInjector(cfg ExecFaults, seed uint64) *execInjector {
+	in := &execInjector{cfg: cfg, rng: sim.NewRNG(seed), seed: seed}
+	in.stallIn = in.countdown(cfg.StallProb)
+	// The coordinator never crashes: worker-crash is a parallel-zone fault
+	// (the supervision being tested is the gather's), so crashes arm only
+	// on forked worker injectors.
+	in.crashIn = -1
+	return in
+}
+
+// countdown draws the number of charge checkpoints until the next event of
+// per-checkpoint probability p — a geometric sample via inversion — or -1
+// when the event is disabled.
+func (in *execInjector) countdown(p float64) int64 {
+	if p <= 0 {
+		return -1
+	}
+	if p >= 1 {
+		return 1
+	}
+	u := in.rng.Float64()
+	n := int64(math.Floor(math.Log(1-u)/math.Log(1-p))) + 1
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// OnCharge implements exec.OpChaos.
+func (in *execInjector) OnCharge(nodeID int) exec.ChargeFault {
+	var f exec.ChargeFault
+	if in.stallIn > 0 {
+		in.stallIn--
+		if in.stallIn == 0 {
+			mean := in.cfg.StallMean
+			if mean <= 0 {
+				mean = DefaultStallMean
+			}
+			f.Stall = sim.Duration(in.rng.ExpFloat64() * float64(mean))
+			if f.Stall < 1 {
+				f.Stall = 1
+			}
+			in.stallIn = in.countdown(in.cfg.StallProb)
+		}
+	}
+	if in.crashIn > 0 {
+		in.crashIn--
+		if in.crashIn == 0 {
+			f.Crash = true
+			in.crashIn = in.countdown(in.cfg.CrashProb)
+		}
+	}
+	return f
+}
+
+// OnSpillWrite implements exec.OpChaos.
+func (in *execInjector) OnSpillWrite(nodeID int) bool {
+	return in.cfg.SpillFailProb > 0 && in.rng.Float64() < in.cfg.SpillFailProb
+}
+
+// DenyMem implements exec.OpChaos.
+func (in *execInjector) DenyMem(nodeID int) bool {
+	return in.cfg.MemDenyProb > 0 && in.rng.Float64() < in.cfg.MemDenyProb
+}
+
+// Fork implements exec.OpChaos: a child injector for one worker thread,
+// seeded from the parent seed, the fork sequence number, and the thread
+// ordinal — deterministic because the coordinator forks workers in gather
+// startup order.
+func (in *execInjector) Fork(thread int) exec.OpChaos {
+	in.forks++
+	child := &execInjector{
+		cfg:    in.cfg,
+		thread: thread,
+		seed:   mixSeed(in.seed, uint64(in.forks)<<32|uint64(uint32(thread))),
+	}
+	child.rng = sim.NewRNG(child.seed)
+	child.stallIn = child.countdown(in.cfg.StallProb)
+	child.crashIn = -1
+	if thread > 0 {
+		child.crashIn = child.countdown(in.cfg.CrashProb)
+	}
+	return child
+}

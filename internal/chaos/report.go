@@ -1,0 +1,118 @@
+package chaos
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Outcome classifies one battery cell against the degradation contract.
+type Outcome int
+
+const (
+	// OutcomeIdentical: the chaos run completed and its rows are
+	// byte-identical to the fault-free reference.
+	OutcomeIdentical Outcome = iota
+	// OutcomeTypedError: the chaos run failed, but with a typed
+	// *exec.QueryError — the contract's permitted failure mode.
+	OutcomeTypedError
+	// OutcomeViolation: anything else — diverged rows, an untyped error,
+	// or an estimator invariant breached during replay.
+	OutcomeViolation
+)
+
+// String renders the outcome for the report table.
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeIdentical:
+		return "identical"
+	case OutcomeTypedError:
+		return "typed-error"
+	case OutcomeViolation:
+		return "VIOLATION"
+	}
+	return fmt.Sprintf("Outcome(%d)", int(o))
+}
+
+// CellResult is the verdict for one (workload, query, DOP, rate) cell.
+type CellResult struct {
+	Workload string
+	Query    string
+	DOP      int
+	Rate     float64
+	// Seed is the cell's derived seed (attempt 0) — printing it makes any
+	// failure replayable in isolation.
+	Seed    uint64
+	Outcome Outcome
+	// ErrKind names the QueryError kind for typed-error outcomes.
+	ErrKind string
+	// Retries counts seeded query-level retries consumed on worker
+	// crashes before this verdict.
+	Retries int
+	// Polls / DegradedPolls count estimator replay polls across all
+	// attempts and how many of them the estimator flagged degraded.
+	Polls         int
+	DegradedPolls int
+	// Violations describes every contract breach; empty unless Outcome is
+	// OutcomeViolation.
+	Violations []string
+}
+
+// Report aggregates a battery run.
+type Report struct {
+	Config GridConfig
+	Cells  []CellResult
+}
+
+func (r *Report) add(c CellResult) { r.Cells = append(r.Cells, c) }
+
+// Violations returns every cell that breached the contract.
+func (r *Report) Violations() []CellResult {
+	var out []CellResult
+	for _, c := range r.Cells {
+		if c.Outcome == OutcomeViolation {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Counts tallies cells by outcome.
+func (r *Report) Counts() (identical, typed, violations int) {
+	for _, c := range r.Cells {
+		switch c.Outcome {
+		case OutcomeIdentical:
+			identical++
+		case OutcomeTypedError:
+			typed++
+		case OutcomeViolation:
+			violations++
+		}
+	}
+	return
+}
+
+// Render formats the battery report: one row per cell plus a verdict
+// footer, with violation details expanded underneath.
+func (r *Report) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "chaos battery: seed=%d cells=%d\n", r.Config.Seed, len(r.Cells))
+	fmt.Fprintf(&sb, "%-8s %-22s %3s %8s %11s %7s %6s %9s  %s\n",
+		"workload", "query", "dop", "rate", "outcome", "retries", "polls", "degraded", "detail")
+	for _, c := range r.Cells {
+		detail := c.ErrKind
+		if c.Outcome == OutcomeViolation {
+			detail = fmt.Sprintf("%d violation(s), seed=%d", len(c.Violations), c.Seed)
+		}
+		fmt.Fprintf(&sb, "%-8s %-22s %3d %8.4f %11s %7d %6d %9d  %s\n",
+			c.Workload, c.Query, c.DOP, c.Rate, c.Outcome, c.Retries, c.Polls, c.DegradedPolls, detail)
+	}
+	identical, typed, violations := r.Counts()
+	fmt.Fprintf(&sb, "verdict: %d identical, %d typed-error, %d violation(s)\n", identical, typed, violations)
+	for _, c := range r.Violations() {
+		fmt.Fprintf(&sb, "  %s/%s dop=%d rate=%g seed=%d:\n", c.Workload, c.Query, c.DOP, c.Rate, c.Seed)
+		for _, v := range c.Violations {
+			fmt.Fprintf(&sb, "    - %s\n", v)
+		}
+	}
+	return sb.String()
+}

@@ -80,6 +80,26 @@ type Snapshot struct {
 	Threads []OpProfile
 	// Ops are the per-node aggregations of Threads (or directly-set rows).
 	Ops []OpProfile
+
+	// Degraded marks a snapshot that is not a clean capture: the poller
+	// synthesized it from the last good capture while its circuit breaker
+	// was open, or the estimator repaired partial/stale/duplicated thread
+	// rows. Consumers widen bounds and hold monotone progress rather than
+	// trusting the counters at face value.
+	Degraded bool
+	// DegradeReason says why (poll stall, breaker backoff, repair summary).
+	DegradeReason string
+}
+
+// Clone returns a deep copy of the snapshot (profile rows are values, so
+// copying the slices suffices). The poller's watchdog clones the last good
+// snapshot when synthesizing degraded ticks so later aggregation or repair
+// never mutates history.
+func (s *Snapshot) Clone() *Snapshot {
+	out := *s
+	out.Threads = append([]OpProfile(nil), s.Threads...)
+	out.Ops = append([]OpProfile(nil), s.Ops...)
+	return &out
 }
 
 // Op returns the aggregated profile for a node ID. Out-of-range IDs —
@@ -271,6 +291,40 @@ type Poller struct {
 	historyCap int
 	// metrics, when non-nil, receives poll-tick and snapshot counters.
 	metrics *obs.Registry
+	// fault, when non-nil, perturbs or stalls captures (chaos harness).
+	fault PollFault
+	// watch holds per-query watchdog state (stall counting, circuit
+	// breaker, last good snapshot).
+	watch map[*exec.Query]*watchState
+}
+
+// PollFault intercepts each capture before it is recorded: it may perturb
+// the snapshot (drop/duplicate/stale thread rows) by returning a modified
+// copy, or report a stall (capture took longer than the poll interval) by
+// returning true — the watchdog then treats the tick as missed. Returning
+// (snap, false) unchanged is a healthy poll. Implemented by internal/chaos.
+type PollFault interface {
+	OnPoll(at sim.Duration, snap *Snapshot) (*Snapshot, bool)
+}
+
+// watchdogThreshold is how many consecutive stalled polls trip the circuit
+// breaker: a single stall is absorbed as one dropped tick, a second in a
+// row opens the breaker.
+const watchdogThreshold = 2
+
+// watchdogMaxBackoff caps the open breaker's capture backoff, in poll
+// ticks: while open, the poller skips captures for backoff-1 ticks between
+// attempts (1, 2, 4, ... watchdogMaxBackoff), synthesizing Degraded
+// snapshots from the last good capture so consumers keep a full timeline.
+const watchdogMaxBackoff = 8
+
+// watchState is the watchdog's per-query record.
+type watchState struct {
+	misses   int // consecutive stalled capture attempts
+	breaker  bool
+	backoff  int // current backoff, in ticks, once the breaker is open
+	skip     int // remaining ticks to skip before the next capture attempt
+	lastGood *Snapshot
 }
 
 // NewPoller attaches a poller to the clock at the given interval. The
@@ -301,6 +355,11 @@ func (p *Poller) SetHistoryCap(n int) {
 // SetMetrics attaches an observability registry; each poll tick and each
 // captured snapshot is counted under the dmv/ namespace. Nil detaches.
 func (p *Poller) SetMetrics(reg *obs.Registry) { p.metrics = reg }
+
+// SetFault installs a capture interceptor (the chaos harness's DMV-layer
+// injector). Nil — the default — disables interception and the watchdog
+// never fires.
+func (p *Poller) SetFault(f PollFault) { p.fault = f }
 
 // trim enforces the flight-recorder cap on one trace.
 func (p *Poller) trim(tr *Trace) {
@@ -342,12 +401,88 @@ func (p *Poller) sample(at sim.Duration) {
 			continue
 		}
 		tr := p.traces[q]
+		st := p.watchFor(q)
+		if st.skip > 0 {
+			// Breaker open: don't even attempt the capture; publish a
+			// degraded tick synthesized from the last good snapshot so the
+			// timeline has no holes.
+			st.skip--
+			p.recordDegraded(tr, st, at, "poller circuit breaker open: backing off")
+			continue
+		}
 		snap := Capture(q)
 		snap.At = at
+		stalled := false
+		if p.fault != nil {
+			snap, stalled = p.fault.OnPoll(at, snap)
+		}
+		if stalled {
+			p.metrics.Counter("dmv/poll_stalls").Inc()
+			st.misses++
+			if st.misses < watchdogThreshold {
+				// A lone stall is one dropped poll; the watchdog keeps
+				// counting but does not degrade yet.
+				continue
+			}
+			if !st.breaker {
+				st.breaker = true
+				st.backoff = 1
+				p.metrics.Counter("dmv/watchdog_trips").Inc()
+			} else if st.backoff < watchdogMaxBackoff {
+				st.backoff *= 2
+			}
+			st.skip = st.backoff - 1
+			p.recordDegraded(tr, st, at, "poll stalled past interval")
+			continue
+		}
+		// Healthy capture: close the breaker and reset the watchdog.
+		st.misses, st.breaker, st.backoff, st.skip = 0, false, 0, 0
+		if snap == nil {
+			continue
+		}
+		if !snap.Degraded {
+			st.lastGood = snap
+		}
 		tr.Snapshots = append(tr.Snapshots, snap)
 		p.trim(tr)
 		p.metrics.Counter("dmv/snapshots").Inc()
+		if snap.Degraded {
+			p.metrics.Counter("dmv/degraded_snapshots").Inc()
+		}
 	}
+}
+
+// watchFor returns (creating on first use) the watchdog state for a query.
+func (p *Poller) watchFor(q *exec.Query) *watchState {
+	if p.watch == nil {
+		p.watch = make(map[*exec.Query]*watchState)
+	}
+	st := p.watch[q]
+	if st == nil {
+		st = &watchState{}
+		p.watch[q] = st
+	}
+	return st
+}
+
+// recordDegraded publishes a synthesized Degraded snapshot: a clone of the
+// last good capture restamped at the tick time (or an empty snapshot when
+// nothing good was ever captured). Estimators hold last-good progress on
+// these instead of blocking or going dark.
+func (p *Poller) recordDegraded(tr *Trace, st *watchState, at sim.Duration, reason string) {
+	var snap *Snapshot
+	if st.lastGood != nil {
+		snap = st.lastGood.Clone()
+	} else {
+		snap = &Snapshot{}
+	}
+	snap.At = at
+	snap.Degraded = true
+	snap.DegradeReason = reason
+	tr.Snapshots = append(tr.Snapshots, snap)
+	p.trim(tr)
+	p.metrics.Counter("dmv/snapshots").Inc()
+	p.metrics.Counter("dmv/degraded_snapshots").Inc()
 }
 
 // Finish finalizes a completed query's trace and returns it. A query that

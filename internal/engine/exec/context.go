@@ -93,6 +93,42 @@ type Counters struct {
 	BufferedRows int64
 }
 
+// ChargeFault is what an OpChaos injector asks a charge checkpoint to do:
+// stall the operator for Stall nanoseconds of virtual time, crash the
+// executing thread, or both zero values for "no fault here".
+type ChargeFault struct {
+	// Stall burns virtual time attributed to the current operator — a slow
+	// operator (external interference, scheduler preemption) that makes
+	// progress denominators drift without changing any row counts.
+	Stall sim.Duration
+	// Crash kills the executing thread with a typed KindWorkerCrash panic.
+	// On a parallel worker the gather's supervision converts it into a
+	// coordinator-side QueryError after releasing every worker goroutine.
+	Crash bool
+}
+
+// OpChaos is the exec-layer fault injector interface implemented by
+// internal/chaos. All methods are called from the single goroutine that
+// owns the Ctx (coordinator or one worker), so implementations need no
+// locking; Fork derives an independent deterministic injector for a
+// parallel worker thread. A nil Ctx.Chaos disables injection at the cost
+// of one pointer check per charge.
+type OpChaos interface {
+	// OnCharge is consulted at every charge checkpoint.
+	OnCharge(nodeID int) ChargeFault
+	// OnSpillWrite is consulted once per spill-write chunk of a blocking
+	// operator's external phase; true fails the spill (KindSpill).
+	OnSpillWrite(nodeID int) bool
+	// DenyMem is consulted at every workspace reservation; true denies the
+	// grant as if the engine revoked it (spillable operators degrade to
+	// disk, non-spillable ones abort with KindMemory).
+	DenyMem(nodeID int) bool
+	// Fork returns the injector for parallel worker thread ordinal t
+	// (1-based, 0 = coordinator). Called by the coordinator in gather
+	// startup order, so worker fault sequences are seed-deterministic.
+	Fork(thread int) OpChaos
+}
+
 // Ctx is the per-query execution context: the virtual clock, buffer pool,
 // cost model, runtime bitmap registry, the bind row for correlated inner
 // subtrees, and the query's lifecycle controls (cancellation, deadline,
@@ -115,6 +151,12 @@ type Ctx struct {
 	// Set it before the query starts stepping; the recorder must be backed
 	// by the query's own clock.
 	Trace *trace.Recorder
+
+	// Chaos, when non-nil, injects exec-layer faults (stalls, crashes,
+	// spill failures, memory-grant denials) at the charge checkpoints. Set
+	// it before the query starts stepping; parallel workers receive forked
+	// injectors from it at gather startup.
+	Chaos OpChaos
 
 	// MemGrantRows is the simulated memory grant, in buffered rows, shared
 	// by the query's blocking operators. Non-spillable operators (hash
@@ -251,9 +293,55 @@ func (ctx *Ctx) checkpoint(c *Counters) {
 			ctx.mu.Lock()
 		}
 	}
+	if ctx.Chaos != nil && c != nil {
+		ctx.chaosCharge(c)
+	}
 	if qe := ctx.interrupted(); qe != nil {
 		panic(qe)
 	}
+}
+
+// chaosCharge applies any injected fault due at this charge checkpoint: a
+// stall burns virtual time against the current operator; a crash kills the
+// executing thread with a typed panic (workers: absorbed and re-surfaced by
+// the gather's supervision; coordinator: the Step recovery boundary).
+func (ctx *Ctx) chaosCharge(c *Counters) {
+	f := ctx.Chaos.OnCharge(c.NodeID)
+	if f.Stall > 0 {
+		ctx.Clock.Advance(f.Stall)
+		c.CPUTime += f.Stall
+		c.LastActive = ctx.Clock.Now()
+		if ctx.Trace != nil {
+			ctx.Trace.Record(trace.KindChaos, c.NodeID, "stall", int64(f.Stall))
+		}
+	}
+	if f.Crash {
+		if ctx.Trace != nil {
+			ctx.Trace.Record(trace.KindChaos, c.NodeID, "worker-crash", 0)
+		}
+		panic(&QueryError{
+			Kind:   KindWorkerCrash,
+			NodeID: c.NodeID,
+			Reason: fmt.Sprintf("chaos: worker thread %d crashed", ctx.Thread),
+		})
+	}
+}
+
+// chaosSpillWrite is consulted once per spill-write chunk by blocking
+// operators' external phases; an injected failure aborts the query with a
+// KindSpill error blamed on the spilling operator.
+func (ctx *Ctx) chaosSpillWrite(c *Counters) {
+	if ctx.Chaos == nil || !ctx.Chaos.OnSpillWrite(c.NodeID) {
+		return
+	}
+	if ctx.Trace != nil {
+		ctx.Trace.Record(trace.KindChaos, c.NodeID, "spill-fail", 0)
+	}
+	panic(&QueryError{
+		Kind:   KindSpill,
+		NodeID: c.NodeID,
+		Reason: "chaos: spill write failed during external phase",
+	})
 }
 
 // reserveMem charges rows of simulated workspace memory to a blocking
@@ -264,8 +352,16 @@ func (ctx *Ctx) checkpoint(c *Counters) {
 func (ctx *Ctx) reserveMem(c *Counters, rows int64, spillable bool) bool {
 	ctx.memUsed += rows
 	c.MemRows += rows
-	if ctx.MemGrantRows <= 0 || ctx.memUsed <= ctx.MemGrantRows {
+	denied := ctx.Chaos != nil && ctx.Chaos.DenyMem(c.NodeID)
+	if !denied && (ctx.MemGrantRows <= 0 || ctx.memUsed <= ctx.MemGrantRows) {
 		return true
+	}
+	reason := fmt.Sprintf("workspace of %d rows exceeds memory grant of %d rows", ctx.memUsed, ctx.MemGrantRows)
+	if denied {
+		reason = "chaos: memory grant denied"
+		if ctx.Trace != nil {
+			ctx.Trace.Record(trace.KindChaos, c.NodeID, "mem-deny", rows)
+		}
 	}
 	if spillable {
 		return false
@@ -273,7 +369,7 @@ func (ctx *Ctx) reserveMem(c *Counters, rows int64, spillable bool) bool {
 	panic(&QueryError{
 		Kind:   KindMemory,
 		NodeID: c.NodeID,
-		Reason: fmt.Sprintf("workspace of %d rows exceeds memory grant of %d rows", ctx.memUsed, ctx.MemGrantRows),
+		Reason: reason,
 	})
 }
 

@@ -26,6 +26,15 @@ const (
 	// KindIO is a permanent (retry-exhausted or hard) page-read failure
 	// injected by the storage fault harness.
 	KindIO
+	// KindSpill is a spill-write failure: a blocking operator's external
+	// (spilled) phase lost its scratch space mid-merge. Injected by the
+	// chaos harness; a real engine surfaces the same condition when tempdb
+	// runs out of room under a spilled sort.
+	KindSpill
+	// KindWorkerCrash is a parallel-zone worker goroutine dying mid-batch.
+	// The gather's supervision converts it into this typed error on the
+	// coordinator, after every worker goroutine has been released.
+	KindWorkerCrash
 )
 
 // String names the kind for rendering and logs.
@@ -41,6 +50,10 @@ func (k ErrorKind) String() string {
 		return "memory grant exceeded"
 	case KindIO:
 		return "I/O failure"
+	case KindSpill:
+		return "spill failure"
+	case KindWorkerCrash:
+		return "parallel worker crashed"
 	}
 	return fmt.Sprintf("ErrorKind(%d)", int(k))
 }

@@ -199,7 +199,9 @@ func (p *producerWrap) Close(ctx *Ctx) {
 	}
 }
 
-func (p *producerWrap) Rewind(ctx *Ctx) { panic("exec: exchange cannot be rewound") }
+func (p *producerWrap) Rewind(ctx *Ctx) {
+	panic(&QueryError{Kind: KindInternal, NodeID: p.c.NodeID, Reason: "exchange cannot be rewound"})
+}
 
 // bucketSource replays the hash bucket routed to one worker during a
 // repartition's stage-2, charging consumer-side CPU to the same per-thread
@@ -225,8 +227,10 @@ func (b *bucketSource) Next(ctx *Ctx) (types.Row, bool) {
 	return row, true
 }
 
-func (b *bucketSource) Close(ctx *Ctx)  {}
-func (b *bucketSource) Rewind(ctx *Ctx) { panic("exec: exchange cannot be rewound") }
+func (b *bucketSource) Close(ctx *Ctx) {}
+func (b *bucketSource) Rewind(ctx *Ctx) {
+	panic(&QueryError{Kind: KindInternal, NodeID: b.c.NodeID, Reason: "exchange cannot be rewound"})
+}
 
 // gather is the parallel GatherStreams exchange: DOP workers over disjoint
 // partitions, order-preserving deterministic merge on the coordinator.
@@ -412,6 +416,9 @@ func (g *gather) zoneStart(ctx *Ctx) {
 		w.ctx.Clock = sim.NewClockAt(t0)
 		w.ctx.Deadline = ctx.Deadline
 		w.ctx.MemGrantRows = ctx.MemGrantRows
+		if ctx.Chaos != nil {
+			w.ctx.Chaos = ctx.Chaos.Fork(w.ctx.Thread)
+		}
 		if ctx.Trace != nil {
 			w.ctx.Trace = trace.NewRecorder(w.ctx.Clock, 0)
 		}
@@ -653,4 +660,6 @@ func (g *gather) mergeTraces() {
 	g.rootCtx.Trace.Ingest(all)
 }
 
-func (g *gather) Rewind(ctx *Ctx) { panic("exec: exchange cannot be rewound") }
+func (g *gather) Rewind(ctx *Ctx) {
+	panic(&QueryError{Kind: KindInternal, NodeID: g.c.NodeID, Reason: "exchange cannot be rewound"})
+}

@@ -101,6 +101,7 @@ func (s *sortOp) spillMerge(ctx *Ctx) {
 		if done+n > total {
 			n = total - done
 		}
+		ctx.chaosSpillWrite(&s.c)
 		ctx.chargeCPU(&s.c, float64(n)*perRow)
 		s.c.InternalDone = done + n
 	}

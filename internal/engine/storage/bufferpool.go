@@ -204,6 +204,7 @@ func (bp *BufferPool) Publish(reg *obs.Registry) {
 	if reg == nil {
 		return
 	}
+	fi := bp.FaultInjector()
 	s := bp.StatsSnapshot()
 	reg.Gauge("bufferpool/hits").Set(s.Hits)
 	reg.Gauge("bufferpool/misses").Set(s.Misses)
@@ -211,6 +212,17 @@ func (bp *BufferPool) Publish(reg *obs.Registry) {
 	reg.Gauge("bufferpool/retries").Set(s.Retries)
 	reg.Gauge("bufferpool/faults").Set(s.Faults)
 	reg.Gauge("bufferpool/resident_pages").Set(s.Resident)
+	if fi == nil {
+		return
+	}
+	// The injector's own view of fault activity, alongside the pool's:
+	// arbitrated reads, reads that hit a transient fault, total retry
+	// attempts, and permanent failures.
+	fs := fi.Stats()
+	reg.Gauge("storage/fault_reads").Set(fs.Reads)
+	reg.Gauge("storage/fault_transients").Set(fs.Transients)
+	reg.Gauge("storage/fault_retries").Set(fs.Retries)
+	reg.Gauge("storage/fault_permanents").Set(fs.Permanents)
 }
 
 // Capacity reports the configured page capacity.

@@ -41,6 +41,12 @@ type Session struct {
 	histCap     int // 0 → DefaultHistoryCap, negative → unlimited
 	history     []*QuerySnapshot
 	histDropped int64
+
+	// fault, when non-nil, intercepts each DMV capture exactly as a
+	// dmv.Poller's fault hook does — the chaos harness uses it to make
+	// snapshot-layer faults visible on the lqsmon monitoring path, which
+	// captures directly instead of going through a Poller.
+	fault dmv.PollFault
 }
 
 // DefaultHistoryCap is the number of snapshots a session's flight recorder
@@ -142,6 +148,38 @@ type QuerySnapshot struct {
 	// ActivePipelines marks pipelines with work in flight — the animated
 	// dotted arrows of the SSMS visualization.
 	ActivePipelines []bool
+	// Degraded marks a poll whose estimate ran on a faulty or stalled
+	// snapshot (see progress.Estimate.Degraded); DegradeReason says why.
+	Degraded      bool
+	DegradeReason string
+}
+
+// SetSnapshotFault installs a capture interceptor on the session's own
+// Snapshot/Explain path (the chaos harness's DMV-layer injector). A stall
+// reported by the hook marks the capture Degraded rather than dropping it —
+// the session has no watchdog ticks to skip, so the degradation surfaces
+// directly on the poll. Nil removes the hook.
+func (s *Session) SetSnapshotFault(f dmv.PollFault) {
+	s.snapMu.Lock()
+	defer s.snapMu.Unlock()
+	s.fault = f
+}
+
+// applyFault runs the installed capture interceptor over a fresh capture.
+func (s *Session) applyFault(snap *dmv.Snapshot) *dmv.Snapshot {
+	if s.fault == nil {
+		return snap
+	}
+	out, stalled := s.fault.OnPoll(snap.At, snap)
+	if stalled {
+		snap.Degraded = true
+		snap.DegradeReason = "dmv poll stalled past interval"
+		return snap
+	}
+	if out != nil {
+		return out
+	}
+	return snap
 }
 
 // Snapshot polls the DMV surface and estimates progress right now. On a
@@ -151,11 +189,11 @@ func (s *Session) Snapshot() *QuerySnapshot {
 	if s.shared {
 		s.snapMu.Lock()
 		defer s.snapMu.Unlock()
-		out := s.snapshot(dmv.CaptureSync(s.Query))
+		out := s.snapshot(s.applyFault(dmv.CaptureSync(s.Query)))
 		s.record(out)
 		return out
 	}
-	out := s.snapshot(dmv.Capture(s.Query))
+	out := s.snapshot(s.applyFault(dmv.Capture(s.Query)))
 	s.snapMu.Lock()
 	s.record(out)
 	s.snapMu.Unlock()
@@ -172,6 +210,8 @@ func (s *Session) snapshot(snap *dmv.Snapshot) *QuerySnapshot {
 		Err:             s.Query.Err(),
 		Ops:             make([]OpStatus, len(s.plan.Nodes)),
 		ActivePipelines: make([]bool, len(s.Estimator.Decomp.Pipelines)),
+		Degraded:        est.Degraded,
+		DegradeReason:   est.DegradeReason,
 	}
 	for _, n := range s.plan.Nodes {
 		op := snap.Op(n.ID)
@@ -276,10 +316,10 @@ func (s *Session) Explain() *progress.Explanation {
 	if s.shared {
 		s.snapMu.Lock()
 		defer s.snapMu.Unlock()
-		x, _ := s.Estimator.Explain(dmv.CaptureSync(s.Query))
+		x, _ := s.Estimator.Explain(s.applyFault(dmv.CaptureSync(s.Query)))
 		return x
 	}
-	x, _ := s.Estimator.Explain(dmv.Capture(s.Query))
+	x, _ := s.Estimator.Explain(s.applyFault(dmv.Capture(s.Query)))
 	return x
 }
 
@@ -289,7 +329,14 @@ func (s *Session) Explain() *progress.Explanation {
 // and elapsed time; still-executing pipeline edges render dotted.
 func (s *Session) Render(q *QuerySnapshot) string {
 	var sb strings.Builder
-	fmt.Fprintf(&sb, "query progress: %5.1f%%   t=%v\n", q.Progress*100, q.At)
+	fmt.Fprintf(&sb, "query progress: %5.1f%%   t=%v", q.Progress*100, q.At)
+	if q.Degraded {
+		sb.WriteString("   [DEGRADED]")
+	}
+	sb.WriteByte('\n')
+	if q.Degraded && q.DegradeReason != "" {
+		fmt.Fprintf(&sb, "*** degraded: %s\n", q.DegradeReason)
+	}
 	if q.State == exec.StateCancelled || q.State == exec.StateFailed {
 		fmt.Fprintf(&sb, "*** %s: %v\n", q.State, q.Err)
 	}

@@ -1,0 +1,229 @@
+package progress
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"lqs/internal/engine/dmv"
+)
+
+// The estimator's graceful-degradation pass (Options.Degrade): before a
+// snapshot is estimated, its raw per-(node, thread) counter rows are
+// checked against the per-key high-water marks of every row the estimator
+// has ever seen. Dropped rows are filled from the high-water, duplicated
+// keys are merged, and rows whose monotone counters regressed (a stale
+// capture raced the server's row churn) are lifted back to the high-water.
+// A repaired snapshot is marked Degraded: bounds widen and monotone
+// clamping engages, so the display holds last-good progress rather than
+// jumping on reconstructed counters. The pass never mutates the caller's
+// snapshot — the experiment harness replays shared snapshot traces through
+// many estimators — and is a pure function of (snapshot, high-water), so
+// estimating the same snapshot twice yields identical results.
+
+// threadKey identifies one DMV profile row: an operator instance on one
+// thread.
+type threadKey struct {
+	node, thread int
+}
+
+// degradedBoundSlack is the factor Appendix A bounds are widened by on a
+// degraded poll (LB/slack, UB*slack).
+const degradedBoundSlack = 2
+
+// prepare vets a snapshot for estimation: it returns the snapshot to
+// estimate from (the original, or a repaired private copy), whether the
+// poll is degraded, and the reason. Without Options.Degrade, or for
+// hand-built snapshots carrying only pre-aggregated Ops rows, it is a
+// pass-through.
+func (e *Estimator) prepare(snap *dmv.Snapshot) (*dmv.Snapshot, bool, string) {
+	if !e.Opt.Degrade {
+		return snap, false, ""
+	}
+	degraded := snap.Degraded
+	reason := snap.DegradeReason
+	if len(snap.Threads) == 0 {
+		return snap, degraded, reason
+	}
+	if e.lastRows == nil {
+		e.lastRows = make(map[threadKey]dmv.OpProfile)
+	}
+
+	// Merge duplicated keys (a torn capture emitted a row twice — summing
+	// them would double-count k and inflate every fraction).
+	merged := make([]dmv.OpProfile, 0, len(snap.Threads))
+	index := make(map[threadKey]int, len(snap.Threads))
+	var dups int
+	for _, row := range snap.Threads {
+		key := threadKey{row.NodeID, row.ThreadID}
+		if i, ok := index[key]; ok {
+			dups++
+			merged[i] = maxProfile(merged[i], row)
+			continue
+		}
+		index[key] = len(merged)
+		merged = append(merged, row)
+	}
+
+	// Detect rows whose monotone counters regressed below the high-water
+	// (stale rows interleaved into a fresh capture, or a whole snapshot
+	// re-delivered out of order). Regressed rows are left as captured —
+	// the poll is flagged Degraded instead, so the display layer holds
+	// last-good progress via the forced monotone clamp rather than
+	// estimating from counters the estimator invented.
+	var stale int
+	for i := range merged {
+		key := threadKey{merged[i].NodeID, merged[i].ThreadID}
+		if last, ok := e.lastRows[key]; ok && profileRegressed(merged[i], last) {
+			stale++
+		}
+	}
+
+	// Fill keys that vanished from the capture (dropped rows) from the
+	// high-water: a missing row is indistinguishable from "no progress
+	// since last poll", which is the conservative reconstruction.
+	var missing int
+	for key, last := range e.lastRows {
+		if _, ok := index[key]; !ok {
+			missing++
+			merged = append(merged, last)
+		}
+	}
+
+	// Update the high-water marks from the merged view, whether or not a
+	// repair fired — healthy polls are what the marks are made of.
+	for _, row := range merged {
+		key := threadKey{row.NodeID, row.ThreadID}
+		if last, ok := e.lastRows[key]; ok {
+			e.lastRows[key] = maxProfile(last, row)
+		} else {
+			e.lastRows[key] = row
+		}
+	}
+
+	if dups == 0 && stale == 0 && missing == 0 {
+		return snap, degraded, reason
+	}
+	repair := fmt.Sprintf("faulty thread rows: %d duplicate, %d stale, %d missing", dups, stale, missing)
+	if reason != "" {
+		reason += "; " + repair
+	} else {
+		reason = repair
+	}
+	if dups == 0 && missing == 0 {
+		// Stale-only: nothing to rebuild, the degraded flag (and the forced
+		// monotone clamp it engages) is the whole remedy.
+		return snap, true, reason
+	}
+
+	sort.Slice(merged, func(i, j int) bool {
+		if merged[i].NodeID != merged[j].NodeID {
+			return merged[i].NodeID < merged[j].NodeID
+		}
+		return merged[i].ThreadID < merged[j].ThreadID
+	})
+	repaired := &dmv.Snapshot{
+		At:            snap.At,
+		NumNodes:      snap.NumNodes,
+		Threads:       merged,
+		Degraded:      true,
+		DegradeReason: reason,
+	}
+	return repaired, true, reason
+}
+
+// maxProfile merges two profile rows for the same (node, thread) key into
+// their elementwise high-water: monotone counters take the max, lifecycle
+// flags OR together, start times take the earliest set value and end times
+// the latest.
+func maxProfile(a, b dmv.OpProfile) dmv.OpProfile {
+	out := a
+	if b.EstimateRows > out.EstimateRows {
+		out.EstimateRows = b.EstimateRows
+	}
+	if b.ActualRows > out.ActualRows {
+		out.ActualRows = b.ActualRows
+	}
+	if b.Rebinds > out.Rebinds {
+		out.Rebinds = b.Rebinds
+	}
+	if b.CPUTime > out.CPUTime {
+		out.CPUTime = b.CPUTime
+	}
+	if b.IOTime > out.IOTime {
+		out.IOTime = b.IOTime
+	}
+	if b.LogicalReads > out.LogicalReads {
+		out.LogicalReads = b.LogicalReads
+	}
+	if b.PhysicalReads > out.PhysicalReads {
+		out.PhysicalReads = b.PhysicalReads
+	}
+	if b.PagesTotal > out.PagesTotal {
+		out.PagesTotal = b.PagesTotal
+	}
+	if b.IORetries > out.IORetries {
+		out.IORetries = b.IORetries
+	}
+	if b.SegmentsProcessed > out.SegmentsProcessed {
+		out.SegmentsProcessed = b.SegmentsProcessed
+	}
+	if b.SegmentsTotal > out.SegmentsTotal {
+		out.SegmentsTotal = b.SegmentsTotal
+	}
+	if b.InternalDone > out.InternalDone {
+		out.InternalDone = b.InternalDone
+	}
+	if b.InternalTotal > out.InternalTotal {
+		out.InternalTotal = b.InternalTotal
+	}
+	if b.Opened {
+		if !out.Opened || b.OpenedAt < out.OpenedAt {
+			out.OpenedAt = b.OpenedAt
+		}
+		out.Opened = true
+	}
+	if b.FirstActive {
+		if !out.FirstActive || b.FirstActiveAt < out.FirstActiveAt {
+			out.FirstActiveAt = b.FirstActiveAt
+		}
+		out.FirstActive = true
+	}
+	if b.LastActive > out.LastActive {
+		out.LastActive = b.LastActive
+	}
+	if b.Closed {
+		out.Closed = true
+	}
+	if b.ClosedAt > out.ClosedAt {
+		out.ClosedAt = b.ClosedAt
+	}
+	return out
+}
+
+// profileRegressed reports whether cur's monotone counters or lifecycle
+// flags sit below last's — the signature of a stale row.
+func profileRegressed(cur, last dmv.OpProfile) bool {
+	return cur.ActualRows < last.ActualRows ||
+		cur.Rebinds < last.Rebinds ||
+		cur.CPUTime < last.CPUTime ||
+		cur.IOTime < last.IOTime ||
+		cur.LogicalReads < last.LogicalReads ||
+		cur.PhysicalReads < last.PhysicalReads ||
+		cur.IORetries < last.IORetries ||
+		cur.SegmentsProcessed < last.SegmentsProcessed ||
+		cur.InternalDone < last.InternalDone ||
+		(last.Opened && !cur.Opened) ||
+		(last.Closed && !cur.Closed) ||
+		(last.FirstActive && !cur.FirstActive)
+}
+
+// widenBounds relaxes Appendix A bounds on a degraded poll.
+func widenBounds(bs []Bounds) {
+	for i := range bs {
+		bs[i].LB /= degradedBoundSlack
+		if !math.IsInf(bs[i].UB, 1) {
+			bs[i].UB *= degradedBoundSlack
+		}
+	}
+}

@@ -31,6 +31,11 @@ type Estimator struct {
 	prevOp    []float64
 	prevQuery float64
 
+	// lastRows is the per-(node, thread) counter high-water mark maintained
+	// when Options.Degrade is set: the repair pass (degraded.go) fills
+	// dropped rows, merges duplicated ones, and lifts stale ones from it.
+	lastRows map[threadKey]dmv.OpProfile
+
 	// rec, when non-nil, receives the introspection record of the current
 	// Estimate pass (set by Explain); the hot path pays one nil check per
 	// recording point.
@@ -50,6 +55,13 @@ type Estimate struct {
 	Bounds []Bounds
 	// PipelineProg is per-pipeline progress, indexed by pipeline ID.
 	PipelineProg []float64
+	// Degraded marks an estimate computed from a degraded snapshot: the
+	// poller synthesized it while its breaker was open, or the repair pass
+	// had to fix partial/stale/duplicated thread rows. Bounds are widened
+	// and progress held monotone on such polls (Options.Degrade).
+	Degraded bool
+	// DegradeReason says why, for display.
+	DegradeReason string
 }
 
 // NewEstimator builds an estimator for a finalized, cost-estimated plan.
@@ -86,14 +98,31 @@ func NewEstimator(p *plan.Plan, cat *catalog.Catalog, opt Options) *Estimator {
 // of parallel queries are aggregated to one profile per node first; the
 // estimator itself is DOP-oblivious, exactly like the paper's client.
 func (e *Estimator) Estimate(snap *dmv.Snapshot) *Estimate {
+	prepared, degraded, reason := e.prepare(snap)
+	return e.estimateFrom(prepared, degraded, reason)
+}
+
+// estimateFrom is the estimation pass proper, running over a snapshot the
+// repair pass (prepare) has already vetted. Estimate and Explain both
+// funnel through it so the repaired snapshot is the one every intermediate
+// reads.
+func (e *Estimator) estimateFrom(snap *dmv.Snapshot, degraded bool, reason string) *Estimate {
 	snap.Aggregate()
 	est := &Estimate{
-		At: snap.At,
-		Op: make([]float64, len(e.Plan.Nodes)),
-		N:  make([]float64, len(e.Plan.Nodes)),
+		At:            snap.At,
+		Op:            make([]float64, len(e.Plan.Nodes)),
+		N:             make([]float64, len(e.Plan.Nodes)),
+		Degraded:      degraded,
+		DegradeReason: reason,
 	}
 	if e.Opt.Bound {
 		est.Bounds = e.ComputeBounds(snap)
+		if degraded {
+			// A degraded snapshot's counters are a reconstruction, not an
+			// observation; widen the Appendix A bounds so the clamp cannot
+			// manufacture false precision from repaired rows.
+			widenBounds(est.Bounds)
+		}
 	}
 	e.deriveN(snap, est)
 	for _, n := range e.Plan.Nodes {
@@ -112,8 +141,16 @@ func (e *Estimator) Estimate(snap *dmv.Snapshot) *Estimate {
 		est.Query = e.tgnQueryProgress(snap, est)
 	}
 	est.Query = clamp01(est.Query)
-	if e.Opt.Monotone {
-		e.enforceMonotone(est)
+	switch {
+	case e.Opt.Monotone, e.Opt.Degrade && degraded:
+		// Degraded polls are forced monotone even in ablation modes that
+		// leave Monotone off: holding last-good progress is the degradation
+		// contract, not a display preference.
+		e.enforceMonotone(est, true)
+	case e.Opt.Degrade:
+		// Track the high-water marks without clamping, so a later degraded
+		// poll holds against the true history.
+		e.enforceMonotone(est, false)
 	}
 	return est
 }
@@ -121,30 +158,37 @@ func (e *Estimator) Estimate(snap *dmv.Snapshot) *Estimate {
 // enforceMonotone clamps each operator's and the query's displayed progress
 // to its high-water mark across polls. Refinement legitimately revises
 // cardinalities upward mid-flight (shrinking k/N̂), and stale snapshots can
-// be replayed out of order; neither may move a progress bar backwards.
-func (e *Estimator) enforceMonotone(est *Estimate) {
+// be replayed out of order; neither may move a progress bar backwards. With
+// clamp false only the high-water marks are updated (degraded-mode
+// bookkeeping on healthy polls when Monotone is off).
+func (e *Estimator) enforceMonotone(est *Estimate, clamp bool) {
 	if e.prevOp == nil {
 		e.prevOp = make([]float64, len(e.Plan.Nodes))
 	}
 	for i := range est.Op {
 		est.Op[i] = clamp01(est.Op[i])
-		if i < len(e.prevOp) {
-			if est.Op[i] < e.prevOp[i] {
-				est.Op[i] = e.prevOp[i]
-				if e.rec != nil && i < len(e.rec.Terms) {
-					e.rec.Terms[i].MonotoneClamped = true
-				}
+		if i >= len(e.prevOp) {
+			continue
+		}
+		if clamp && est.Op[i] < e.prevOp[i] {
+			est.Op[i] = e.prevOp[i]
+			if e.rec != nil && i < len(e.rec.Terms) {
+				e.rec.Terms[i].MonotoneClamped = true
 			}
+		}
+		if est.Op[i] > e.prevOp[i] {
 			e.prevOp[i] = est.Op[i]
 		}
 	}
-	if est.Query < e.prevQuery {
+	if clamp && est.Query < e.prevQuery {
 		est.Query = e.prevQuery
 		if e.rec != nil {
 			e.rec.QueryMonotoneClamped = true
 		}
 	}
-	e.prevQuery = est.Query
+	if est.Query > e.prevQuery {
+		e.prevQuery = est.Query
+	}
 }
 
 // deriveN fills est.N: the N̂_i of Equation 2, refined (§4.1, §4.4) and

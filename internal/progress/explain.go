@@ -134,6 +134,10 @@ type Explanation struct {
 	// raised the displayed query progress above this poll's raw value.
 	QueryMonotoneClamped bool
 	PipelineProg         []float64
+	// Degraded/DegradeReason mirror the estimate: this pass ran on a
+	// degraded or repaired snapshot (Options.Degrade).
+	Degraded      bool
+	DegradeReason string
 }
 
 // Explain runs one estimation pass with introspection enabled, returning
@@ -141,6 +145,10 @@ type Explanation struct {
 // Estimate call — same refinement, same monotone state updates (an Explain
 // counts as a poll) — with every intermediate recorded.
 func (e *Estimator) Explain(snap *dmv.Snapshot) (*Explanation, *Estimate) {
+	// Run the degradation repair first so the recorded K values and the
+	// estimate both read the same (possibly repaired) snapshot.
+	prepared, degraded, reason := e.prepare(snap)
+	snap = prepared
 	snap.Aggregate()
 	x := &Explanation{
 		At:    snap.At,
@@ -164,10 +172,12 @@ func (e *Estimator) Explain(snap *dmv.Snapshot) (*Explanation, *Estimate) {
 		}
 	}
 	e.rec = x
-	est := e.Estimate(snap)
+	est := e.estimateFrom(snap, degraded, reason)
 	e.rec = nil
 	x.Query = est.Query
 	x.PipelineProg = est.PipelineProg
+	x.Degraded = est.Degraded
+	x.DegradeReason = est.DegradeReason
 	for _, n := range e.Plan.Nodes {
 		t := &x.Terms[n.ID]
 		t.K = snap.Op(n.ID).ActualRows
@@ -279,6 +289,9 @@ func (x *Explanation) Render() string {
 		x.At, x.Mode, x.Query*100, x.RawQuery*100)
 	if x.QueryMonotoneClamped {
 		sb.WriteString(" [monotone]")
+	}
+	if x.Degraded {
+		sb.WriteString(" [degraded]")
 	}
 	sb.WriteByte('\n')
 	var walk func(n *plan.Node, depth int)

@@ -69,6 +69,15 @@ type Options struct {
 	// estimator behavior with it off.
 	Monotone bool
 
+	// Degrade enables the estimator's graceful-degradation mode for faulty
+	// counter streams: partial, stale, or duplicated per-thread snapshot
+	// rows are repaired against a per-(node, thread) high-water mark before
+	// estimation, Appendix A bounds are widened on degraded polls, and
+	// degraded polls are forced monotone (hold last-good progress) even
+	// when Monotone is off. A clean snapshot stream behaves identically
+	// with it on or off.
+	Degrade bool
+
 	// InternalCounters implements the paper's first §7 future-work item:
 	// consume the extended DMV counters exposing blocking operators'
 	// internal work (a spilled sort's external merge progress), closing
@@ -92,6 +101,7 @@ func LQSOptions() Options {
 		Weighted:         true,
 		BatchMode:        true,
 		Monotone:         true,
+		Degrade:          true,
 		MinRefineRows:    DefaultMinRefineRows,
 	}
 }

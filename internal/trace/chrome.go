@@ -124,6 +124,9 @@ func Chrome(r *Recorder, queryName string, pid int) ([]byte, error) {
 			add(chromeEvent{Name: "io-retry", Ph: "i", Ts: ts, Tid: tid(ev), S: "t", Args: &chromeArgs{Rows: &rows}})
 		case KindState:
 			add(chromeEvent{Name: "state: " + ev.Name, Ph: "i", Ts: ts, Tid: 0, S: "p"})
+		case KindChaos:
+			rows := ev.Rows
+			add(chromeEvent{Name: "chaos: " + ev.Name, Ph: "i", Ts: ts, Tid: tid(ev), S: "t", Args: &chromeArgs{Rows: &rows}})
 		}
 	}
 	return json.MarshalIndent(&doc, "", " ")

@@ -40,6 +40,11 @@ const (
 	// KindState marks a query lifecycle transition (RUNNING, SUCCEEDED,
 	// CANCELLED, FAILED); NodeID is -1.
 	KindState
+	// KindChaos marks an injected chaos fault firing at an operator: a
+	// slow-operator stall ("stall", Rows carries the stall nanoseconds), a
+	// spill-write failure ("spill-fail"), a memory-grant denial
+	// ("mem-deny"), or a worker crash ("worker-crash").
+	KindChaos
 )
 
 // String names the kind.
@@ -61,6 +66,8 @@ func (k Kind) String() string {
 		return "io-retry"
 	case KindState:
 		return "state"
+	case KindChaos:
+		return "chaos"
 	}
 	return "?"
 }
