@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all vet build test race bench trace-smoke fuzz-smoke chaos-smoke ci
+.PHONY: all vet build test race bench bench-json trace-smoke fuzz-smoke chaos-smoke ci
 
 all: ci
 
@@ -16,10 +16,11 @@ test:
 # The concurrency-sensitive packages: registry-driven concurrent queries,
 # cross-goroutine snapshot capture, the buffer-pool latch, the parallel
 # tracing harness (worker pool + ordered merge), the intra-query parallel
-# executor (gather workers + per-thread counters + estimator), and the
-# chaos harness (fault injection into parallel workers and the poller).
+# executor (gather workers + per-thread counters + estimator), the chaos
+# harness (fault injection into parallel workers and the poller), and the
+# expression compiler (compiled predicates run on every parallel worker).
 race:
-	$(GO) test -race ./internal/lqs/... ./internal/engine/dmv/... ./internal/metrics/... ./internal/trace/... ./internal/obs/... ./internal/engine/exec/... ./internal/progress/... ./internal/chaos/...
+	$(GO) test -race ./internal/lqs/... ./internal/engine/dmv/... ./internal/metrics/... ./internal/trace/... ./internal/obs/... ./internal/engine/exec/... ./internal/engine/expr/... ./internal/progress/... ./internal/chaos/...
 
 # Short coverage-guided runs of every native fuzz target: the DMV
 # per-thread aggregation and the progress estimator fed adversarial
@@ -42,6 +43,18 @@ chaos-smoke:
 # speedup vs a serial reference pass) land in bench.json.
 bench:
 	$(GO) run ./cmd/lqsbench -parallel 0 -bench-json bench.json
+
+# Wall-clock benchmark trajectory: run the go-test benchmarks (one per
+# paper figure, plus the estimator and row-vs-batch micro-benchmarks) and
+# convert the output into a committed JSON artifact. Compare BENCH_*.json
+# across PRs to see where execution time went. Override the label per PR:
+# `make bench-json BENCH_LABEL=pr8`.
+BENCH_LABEL ?= pr7
+BENCH_TIME ?= 3x
+bench-json:
+	$(GO) test -run '^$$' -bench . -benchmem -benchtime $(BENCH_TIME) . > bench-raw.txt
+	$(GO) run ./cmd/benchjson -label $(BENCH_LABEL) -o BENCH_$(BENCH_LABEL).json < bench-raw.txt
+	@rm -f bench-raw.txt
 
 # Tiny tracing smoke test: run a few queries with event tracing on, emit
 # Chrome trace-event JSON, and validate it against the schema (ValidateChrome

@@ -118,3 +118,61 @@ func BenchmarkTracedExecution(b *testing.B) {
 		poller.Finish(query)
 	}
 }
+
+// --- Batch-vs-row micro-benchmarks -----------------------------------------
+//
+// Each pair runs one query end to end in the classic row-at-a-time engine
+// and in the vectorized batch engine (batch size 1024). Results and final
+// counters are identical (see the exec batch differential battery); the
+// pair isolates the wall-clock effect of vectorization — compiled
+// predicates, page-run scans, and per-batch checkpointing.
+
+// benchQuery runs one named workload query end to end at the given batch
+// size (0 = row mode) per iteration.
+func benchQuery(b *testing.B, w *workload.Workload, name string, batch int) {
+	var q workload.Query
+	for _, c := range w.Queries {
+		if c.Name == name {
+			q = c
+		}
+	}
+	if q.Build == nil {
+		b.Fatalf("no query %q in %s", name, w.Name)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := plan.Finalize(q.Build(w.Builder()))
+		opt.NewEstimator(w.DB.Catalog).Estimate(p)
+		w.DB.ColdStart()
+		exec.NewQueryBatch(p, w.DB, opt.DefaultCostModel(), sim.NewClock(), 1, batch).Run()
+	}
+}
+
+// BatchBenchSize is the batch size the batch-mode micro-benchmarks (and
+// lqsbench's batch section) use: the engine's columnstore row-group size,
+// so a scan batch aligns with a storage row group.
+const BatchBenchSize = 1024
+
+func BenchmarkQ6RowMode(b *testing.B) {
+	benchQuery(b, benchSuite().Workload("TPC-H"), "Q6", 0)
+}
+
+func BenchmarkQ6BatchMode(b *testing.B) {
+	benchQuery(b, benchSuite().Workload("TPC-H"), "Q6", BatchBenchSize)
+}
+
+func BenchmarkQ1RowMode(b *testing.B) {
+	benchQuery(b, benchSuite().Workload("TPC-H"), "Q1", 0)
+}
+
+func BenchmarkQ1BatchMode(b *testing.B) {
+	benchQuery(b, benchSuite().Workload("TPC-H"), "Q1", BatchBenchSize)
+}
+
+func BenchmarkQ6ColumnstoreRowMode(b *testing.B) {
+	benchQuery(b, benchSuite().Workload("TPC-H ColumnStore"), "Q6", 0)
+}
+
+func BenchmarkQ6ColumnstoreBatchMode(b *testing.B) {
+	benchQuery(b, benchSuite().Workload("TPC-H ColumnStore"), "Q6", BatchBenchSize)
+}

@@ -81,6 +81,16 @@ type Snapshot struct {
 	// Ops are the per-node aggregations of Threads (or directly-set rows).
 	Ops []OpProfile
 
+	// aggregated memoizes Aggregate: once the per-node fold has run (or
+	// been found unnecessary), every further Op/Aggregate call on this
+	// snapshot is a single flag test. Estimators call Op per node per poll,
+	// so without the memo each access would re-walk the guard and, on
+	// hand-perturbed snapshots, re-fold the thread rows.
+	aggregated bool
+	// aggRuns counts the folds that actually ran, pinning the memo in
+	// regression tests.
+	aggRuns int
+
 	// Degraded marks a snapshot that is not a clean capture: the poller
 	// synthesized it from the last good capture while its circuit breaker
 	// was open, or the estimator repaired partial/stale/duplicated thread
@@ -99,6 +109,10 @@ func (s *Snapshot) Clone() *Snapshot {
 	out := *s
 	out.Threads = append([]OpProfile(nil), s.Threads...)
 	out.Ops = append([]OpProfile(nil), s.Ops...)
+	// Clones exist to be mutated (degraded-tick synthesis, chaos
+	// perturbation), so the memo does not carry over; the next Aggregate
+	// re-validates against whatever the mutation left behind.
+	out.aggregated = false
 	return &out
 }
 
@@ -122,11 +136,17 @@ func (s *Snapshot) Op(id int) *OpProfile {
 // Opened = any thread opened, Closed = every opened row also closed,
 // OpenedAt/FirstActiveAt = earliest, LastActive/ClosedAt = latest. A no-op
 // when Ops is already populated (idempotent, and hand-built snapshots with
-// direct Ops stay authoritative).
+// direct Ops stay authoritative); the outcome is memoized, so repeated
+// Op/Aggregate calls on an unchanged snapshot cost one flag test.
 func (s *Snapshot) Aggregate() {
-	if s.Ops != nil || len(s.Threads) == 0 {
+	if s.aggregated {
 		return
 	}
+	if s.Ops != nil || len(s.Threads) == 0 {
+		s.aggregated = true
+		return
+	}
+	s.aggRuns++
 	n := s.NumNodes
 	for _, t := range s.Threads {
 		if t.NodeID+1 > n {
@@ -182,6 +202,7 @@ func (s *Snapshot) Aggregate() {
 		}
 	}
 	s.Ops = ops
+	s.aggregated = true
 }
 
 // NodeProfiles adapts the snapshot into the plan package's annotation

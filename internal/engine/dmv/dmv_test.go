@@ -150,3 +150,45 @@ func TestColumnStoreSegments(t *testing.T) {
 		t.Fatal("segment math wrong")
 	}
 }
+
+// TestSnapshotOpMemoizesAggregate pins the Aggregate memo: however many
+// times a client reads Op on an unchanged snapshot — an estimator reads it
+// once per node per poll — the per-node fold runs exactly once, and the
+// hot-path reads allocate nothing.
+func TestSnapshotOpMemoizesAggregate(t *testing.T) {
+	snap := &Snapshot{NumNodes: 2, Threads: []OpProfile{
+		{NodeID: 0, ThreadID: 1, ActualRows: 3},
+		{NodeID: 0, ThreadID: 2, ActualRows: 4},
+		{NodeID: 1, ThreadID: 0, ActualRows: 5},
+	}}
+	for i := 0; i < 100; i++ {
+		if got := snap.Op(0).ActualRows; got != 7 {
+			t.Fatalf("Op(0).ActualRows = %d, want 7", got)
+		}
+		if got := snap.Op(1).ActualRows; got != 5 {
+			t.Fatalf("Op(1).ActualRows = %d, want 5", got)
+		}
+	}
+	if snap.aggRuns != 1 {
+		t.Fatalf("aggregation ran %d times over 200 Op calls, want 1", snap.aggRuns)
+	}
+	if allocs := testing.AllocsPerRun(100, func() { snap.Op(1) }); allocs != 0 {
+		t.Fatalf("Op on an aggregated snapshot allocates %.0f objects per call, want 0", allocs)
+	}
+
+	// A mutated clone — the chaos/watchdog pattern — re-aggregates exactly
+	// once more, seeing the mutation.
+	c := snap.Clone()
+	c.Ops = nil
+	c.Threads[0].ActualRows = 10
+	if got := c.Op(0).ActualRows; got != 14 {
+		t.Fatalf("mutated clone Op(0).ActualRows = %d, want 14", got)
+	}
+	if c.aggRuns != 2 {
+		t.Fatalf("clone aggregation count = %d, want 2", c.aggRuns)
+	}
+	// The original's memo is untouched by the clone's life.
+	if got := snap.Op(0).ActualRows; got != 7 || snap.aggRuns != 1 {
+		t.Fatalf("original perturbed by clone: rows=%d aggRuns=%d", got, snap.aggRuns)
+	}
+}

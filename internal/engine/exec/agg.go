@@ -13,6 +13,7 @@ type streamAgg struct {
 	child  Operator
 	curKey types.Row
 	states []expr.AggState
+	idCols []int
 	open   bool
 	done   bool
 }
@@ -20,6 +21,7 @@ type streamAgg struct {
 func newStreamAgg(n *plan.Node, child Operator) *streamAgg {
 	s := &streamAgg{child: child}
 	s.init(n)
+	s.idCols = identityCols(len(n.GroupCols))
 	return s
 }
 
@@ -77,14 +79,15 @@ func (s *streamAgg) Next(ctx *Ctx) (types.Row, bool) {
 		}
 		s.c.InputRows++
 		ctx.chargeCPU(&s.c, ctx.CM.CPUTuple+float64(len(s.node.Aggs))*ctx.CM.CPUAggUpdate)
-		key := projectCols(row, s.node.GroupCols)
+		// Project the group key only when a new group starts: within a
+		// group the boundary comparison needs no per-row allocation.
 		if !s.open {
 			s.open = true
-			s.curKey = key
+			s.curKey = projectCols(row, s.node.GroupCols)
 			s.states = s.freshStates()
-		} else if !types.EqualCols(row, s.curKey, s.node.GroupCols, identityCols(len(s.node.GroupCols))) {
+		} else if !types.EqualCols(row, s.curKey, s.node.GroupCols, s.idCols) {
 			out := s.result()
-			s.curKey = key
+			s.curKey = projectCols(row, s.node.GroupCols)
 			s.states = s.freshStates()
 			for i := range s.states {
 				s.states[i].Add(row)

@@ -179,6 +179,15 @@ type Ctx struct {
 	// shaped by it.
 	DOP int
 
+	// BatchSize selects vectorized execution: when it exceeds 0, operators
+	// with native batch implementations (scans, filter, compute scalar,
+	// stream aggregate) are built as BatchOperators producing up to
+	// BatchSize rows per NextBatch call, with checkpoints amortized to one
+	// per batch. 0 (the default) is classic row-at-a-time execution. Set at
+	// query construction (NewQueryBatch) — the operator tree is shaped by
+	// it.
+	BatchSize int
+
 	// Thread is this context's DMV thread ordinal (0 = coordinator, w+1 =
 	// parallel worker w); Part/Parts are the range partition a worker's
 	// scans claim (Parts 0 means unpartitioned). Worker contexts are
@@ -301,6 +310,36 @@ func (ctx *Ctx) checkpoint(c *Counters) {
 	}
 }
 
+// checkpointBatch is the amortized interrupt point of batch operators: one
+// call covers `charges` preceding chargeCPURow calls. The yield cadence is
+// preserved exactly (chargeOps accumulates the real charge count, so
+// concurrent pollers wait no longer than under row mode), while the chaos
+// consultation and the cancellation/deadline check run once per batch —
+// cancellation latency grows from one row's work to one batch's work,
+// which is the documented batch-mode contract (DESIGN §4g).
+func (ctx *Ctx) checkpointBatch(c *Counters, charges int) {
+	if charges <= 0 {
+		return
+	}
+	if c != nil {
+		ctx.cur = c
+	}
+	ctx.chargeOps += charges
+	if ctx.chargeOps >= yieldEvery {
+		ctx.chargeOps = 0
+		if ctx.parent == nil {
+			ctx.mu.Unlock()
+			ctx.mu.Lock()
+		}
+	}
+	if ctx.Chaos != nil && c != nil {
+		ctx.chaosCharge(c)
+	}
+	if qe := ctx.interrupted(); qe != nil {
+		panic(qe)
+	}
+}
+
 // chaosCharge applies any injected fault due at this charge checkpoint: a
 // stall burns virtual time against the current operator; a crash kills the
 // executing thread with a typed panic (workers: absorbed and re-surfaced by
@@ -398,6 +437,25 @@ func (ctx *Ctx) chargeCPU(c *Counters, ns float64) {
 	c.CPUTime += d
 	c.LastActive = ctx.Clock.Now()
 	ctx.checkpoint(c)
+}
+
+// chargeCPURow is chargeCPU without the trailing checkpoint: batch
+// operators advance the clock and the counters row by row — so the virtual
+// timeline of every charge is identical to row mode — and amortize the
+// checkpoint (poller yield, chaos, cancellation) to one checkpointBatch
+// call per batch.
+func (ctx *Ctx) chargeCPURow(c *Counters, ns float64) {
+	if ns <= 0 {
+		return
+	}
+	if !c.FirstActive {
+		c.FirstActive = true
+		c.FirstActiveAt = ctx.Clock.Now()
+	}
+	d := sim.Duration(ns)
+	ctx.Clock.Advance(d)
+	c.CPUTime += d
+	c.LastActive = ctx.Clock.Now()
 }
 
 // chargeIO charges page I/O at logical/physical page costs, plus

@@ -88,8 +88,20 @@ func (b *base) emit() {
 
 // BuildOperator constructs the operator tree for a finalized, estimated
 // plan. The ctx must be the one later used to run the query (bitmap
-// registration happens here).
+// registration happens here). When ctx.BatchSize selects vectorized
+// execution, subtrees rooted at batch-native nodes are built as
+// BatchOperators behind a batchToRow adapter, so row-mode parents (and the
+// query root) are oblivious to the execution mode below them.
 func BuildOperator(n *plan.Node, ctx *Ctx) Operator {
+	if ctx.BatchSize > 0 && batchNative(n) {
+		return newBatchToRow(BuildBatchOperator(n, ctx))
+	}
+	return buildRowOperator(n, ctx)
+}
+
+// buildRowOperator constructs the classic row-at-a-time operator for n.
+// Children recurse through BuildOperator and may re-enter batch mode.
+func buildRowOperator(n *plan.Node, ctx *Ctx) Operator {
 	switch n.Physical {
 	case plan.TableScan:
 		return newTableScan(n)

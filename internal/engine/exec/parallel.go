@@ -334,12 +334,13 @@ func tryNewGather(n *plan.Node, ctx *Ctx, dop int) *gather {
 	seen := make(map[*Counters]bool)
 	for w := 0; w < dop; w++ {
 		wctx := &Ctx{
-			DB:     ctx.DB.WorkerView(),
-			CM:     ctx.CM,
-			Thread: w + 1,
-			Part:   w,
-			Parts:  dop,
-			parent: ctx,
+			DB:        ctx.DB.WorkerView(),
+			CM:        ctx.CM,
+			BatchSize: ctx.BatchSize,
+			Thread:    w + 1,
+			Part:      w,
+			Parts:     dop,
+			parent:    ctx,
 		}
 		zw := &zoneWorker{
 			id:   w,
@@ -394,6 +395,31 @@ func registerWorkerCounters(ctx *Ctx, op Operator, thread int, seen map[*Counter
 		registerWorkerCounters(ctx, t.child, thread, seen)
 	case *hashAgg:
 		registerWorkerCounters(ctx, t.child, thread, seen)
+	case *batchToRow:
+		registerBatchWorkerCounters(ctx, t.b, thread, seen)
+	}
+}
+
+// registerBatchWorkerCounters is registerWorkerCounters over a batch
+// subtree inside a worker tree.
+func registerBatchWorkerCounters(ctx *Ctx, b BatchOperator, thread int, seen map[*Counters]bool) {
+	if b == nil {
+		return
+	}
+	if c := b.Counters(); !seen[c] {
+		seen[c] = true
+		c.Thread = thread
+		ctx.threadCounters = append(ctx.threadCounters, c)
+	}
+	switch t := b.(type) {
+	case *batchFilter:
+		registerBatchWorkerCounters(ctx, t.child, thread, seen)
+	case *batchCompute:
+		registerBatchWorkerCounters(ctx, t.child, thread, seen)
+	case *batchStreamAgg:
+		registerBatchWorkerCounters(ctx, t.child, thread, seen)
+	case *rowToBatch:
+		registerWorkerCounters(ctx, t.op, thread, seen)
 	}
 }
 

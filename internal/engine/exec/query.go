@@ -23,9 +23,10 @@ type Query struct {
 	Root Operator
 	Ctx  *Ctx
 
-	ops     map[int]Operator // by node ID
-	all     []*Counters      // every (node, thread) counter row, sorted
-	state   atomic.Int32     // QueryState
+	ops     map[int]Operator  // by node ID
+	ctrs    map[int]*Counters // coordinator counters by node ID, incl. batch-native operators
+	all     []*Counters       // every (node, thread) counter row, sorted
+	state   atomic.Int32      // QueryState
 	failure atomic.Pointer[QueryError]
 	rows    atomic.Int64
 	started atomic.Int64 // sim.Duration
@@ -44,19 +45,33 @@ func NewQuery(p *plan.Plan, db *storage.Database, cm *opt.CostModel, clock *sim.
 // aggregated counters, and the virtual-time stream stay deterministic at
 // any DOP; only the simulated elapsed time changes.
 func NewQueryDOP(p *plan.Plan, db *storage.Database, cm *opt.CostModel, clock *sim.Clock, dop int) *Query {
+	return NewQueryBatch(p, db, cm, clock, dop, 0)
+}
+
+// NewQueryBatch is NewQueryDOP with vectorized execution: batchSize > 0
+// builds batch-native pipelines (scans, filter, compute scalar, stream
+// aggregate) producing up to batchSize rows per call, with checkpoints
+// amortized per batch; 0 is classic row-at-a-time execution. Results and
+// final counters are identical at any batch size (and byte-identical
+// snapshot trajectories at batchSize 1); see DESIGN §4g.
+func NewQueryBatch(p *plan.Plan, db *storage.Database, cm *opt.CostModel, clock *sim.Clock, dop, batchSize int) *Query {
 	if dop < 1 {
 		dop = 1
 	}
+	if batchSize < 0 {
+		batchSize = 0
+	}
 	q := &Query{
 		Plan: p,
-		Ctx:  &Ctx{Clock: clock, DB: db, CM: cm, DOP: dop},
+		Ctx:  &Ctx{Clock: clock, DB: db, CM: cm, DOP: dop, BatchSize: batchSize},
 		ops:  make(map[int]Operator, len(p.Nodes)),
+		ctrs: make(map[int]*Counters, len(p.Nodes)),
 	}
 	q.Root = BuildOperator(p.Root, q.Ctx)
 	q.index(q.Root)
-	q.all = make([]*Counters, 0, len(q.ops)+len(q.Ctx.threadCounters))
-	for _, op := range q.ops {
-		q.all = append(q.all, op.Counters())
+	q.all = make([]*Counters, 0, len(q.ctrs)+len(q.Ctx.threadCounters))
+	for _, c := range q.ctrs {
+		q.all = append(q.all, c)
 	}
 	q.all = append(q.all, q.Ctx.threadCounters...)
 	sort.Slice(q.all, func(i, j int) bool {
@@ -69,8 +84,12 @@ func NewQueryDOP(p *plan.Plan, db *storage.Database, cm *opt.CostModel, clock *s
 }
 
 func (q *Query) index(op Operator) {
-	q.ops[op.Counters().NodeID] = op
+	c := op.Counters()
+	q.ops[c.NodeID] = op
+	q.ctrs[c.NodeID] = c
 	switch t := op.(type) {
+	case *batchToRow:
+		q.indexBatch(t.b)
 	case *ridLookup:
 		q.index(t.child)
 	case *filter:
@@ -113,6 +132,25 @@ func (q *Query) index(op Operator) {
 	}
 }
 
+// indexBatch registers coordinator batch-native operators' counters so DMV
+// captures see them. Batch operators are not Operators, so they do not
+// enter q.ops (the root of a batch subtree is reachable there through its
+// batchToRow adapter, which shares its counters).
+func (q *Query) indexBatch(b BatchOperator) {
+	c := b.Counters()
+	q.ctrs[c.NodeID] = c
+	switch t := b.(type) {
+	case *batchFilter:
+		q.indexBatch(t.child)
+	case *batchCompute:
+		q.indexBatch(t.child)
+	case *batchStreamAgg:
+		q.indexBatch(t.child)
+	case *rowToBatch:
+		q.index(t.op)
+	}
+}
+
 // Operator returns the operator for a plan node ID.
 func (q *Query) Operator(id int) Operator { return q.ops[id] }
 
@@ -120,9 +158,9 @@ func (q *Query) Operator(id int) Operator { return q.ops[id] }
 // ID (the thread-0 rows). Parallel worker rows are reached through
 // AllCounters.
 func (q *Query) Counters() map[int]*Counters {
-	out := make(map[int]*Counters, len(q.ops))
-	for id, op := range q.ops {
-		out[id] = op.Counters()
+	out := make(map[int]*Counters, len(q.ctrs))
+	for id, c := range q.ctrs {
+		out[id] = c
 	}
 	return out
 }

@@ -8,6 +8,7 @@ package expr
 
 import (
 	"fmt"
+	"math"
 	"strings"
 
 	"lqs/internal/engine/types"
@@ -76,13 +77,18 @@ type Cmp struct {
 
 // Eval applies the comparison with SQL NULL semantics.
 func (c *Cmp) Eval(row types.Row) types.Value {
-	l := c.L.Eval(row)
-	r := c.R.Eval(row)
+	return applyCmp(c.Op, c.L.Eval(row), c.R.Eval(row))
+}
+
+// applyCmp is the comparison kernel shared by the interpreted Eval and the
+// compiled evaluators: NULL operands yield NULL, otherwise the operator is
+// applied to the types.Compare ordering.
+func applyCmp(op CmpOp, l, r types.Value) types.Value {
 	if l.IsNull() || r.IsNull() {
 		return types.Null()
 	}
 	v := types.Compare(l, r)
-	switch c.Op {
+	switch op {
 	case EQ:
 		return types.Bool(v == 0)
 	case NE:
@@ -213,13 +219,17 @@ type Arith struct {
 
 // Eval computes the arithmetic result.
 func (a *Arith) Eval(row types.Row) types.Value {
-	l := a.L.Eval(row)
-	r := a.R.Eval(row)
+	return applyArith(a.Op, a.L.Eval(row), a.R.Eval(row))
+}
+
+// applyArith is the arithmetic kernel shared by the interpreted Eval and
+// the compiled evaluators.
+func applyArith(op ArithOp, l, r types.Value) types.Value {
 	if l.IsNull() || r.IsNull() {
 		return types.Null()
 	}
-	if l.K == types.KindInt && r.K == types.KindInt && a.Op != Div {
-		switch a.Op {
+	if l.K == types.KindInt && r.K == types.KindInt && op != Div {
+		switch op {
 		case Add:
 			return types.Int(l.I + r.I)
 		case Sub:
@@ -238,7 +248,7 @@ func (a *Arith) Eval(row types.Row) types.Value {
 	if !ok1 || !ok2 {
 		return types.Null()
 	}
-	switch a.Op {
+	switch op {
 	case Add:
 		return types.Float(lf + rf)
 	case Sub:
@@ -251,7 +261,10 @@ func (a *Arith) Eval(row types.Row) types.Value {
 		}
 		return types.Float(lf / rf)
 	case Mod:
-		if rf == 0 {
+		// Modulo truncates both operands; the zero check must look at the
+		// truncated divisor (0 < |rf| < 1 would otherwise divide by zero),
+		// and a non-finite operand has no truncation at all.
+		if math.IsNaN(lf) || math.IsInf(lf, 0) || math.IsNaN(rf) || math.IsInf(rf, 0) || int64(rf) == 0 {
 			return types.Null()
 		}
 		return types.Float(float64(int64(lf) % int64(rf)))

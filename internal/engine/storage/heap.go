@@ -145,6 +145,30 @@ func (c *HeapCursor) Next() (row types.Row, rid int64, ok bool) {
 	return row, rid, true
 }
 
+// NextPageRows returns all unread rows of the next page as one run,
+// charging the page read into the cursor exactly as Next would when
+// crossing onto it. ok=false at end of range. The vectorized scan iterates
+// page runs to avoid per-row cursor calls; the I/O charge sequence is
+// identical to per-row iteration, which charges a page when its first row
+// is pulled.
+func (c *HeapCursor) NextPageRows() ([]types.Row, bool) {
+	if c.pos >= c.end {
+		return nil, false
+	}
+	page := c.pos / c.h.rowsPerPage
+	if page != c.lastPage {
+		c.lastPage = page
+		c.bp.Read(PageID{c.h.objectID, uint32(page)}, &c.io)
+	}
+	hi := (page + 1) * c.h.rowsPerPage
+	if hi > c.end {
+		hi = c.end
+	}
+	rows := c.h.rows[c.pos:hi]
+	c.pos = hi
+	return rows, true
+}
+
 // DrainIO returns and resets the I/O accumulated since the last drain.
 func (c *HeapCursor) DrainIO() IOCounts {
 	out := c.io

@@ -220,3 +220,32 @@ func sscanNote(note, pattern string, out ...*float64) (int, error) {
 	}
 	return n, nil
 }
+
+// TestSuiteRunRepeatable pins the contract the figure benchmarks rely on:
+// Suite.Run must not mutate its cached workloads (each trace cold-starts
+// the buffer pool and builds a fresh plan, so the cache is read-only), and
+// therefore re-running any figure against one shared suite — exactly what
+// bench_test.go does for b.N iterations — renders byte-identical artifacts.
+func TestSuiteRunRepeatable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("running every figure twice is slow")
+	}
+	s := quickSuite()
+	figures := []string{
+		"Fig8", "Fig11", "Fig12", "Fig13", "Fig14", "Fig15", "Fig16",
+		"Fig17", "Fig18", "Fig19", "Fig20", "TableA1",
+	}
+	for _, id := range figures {
+		r1, err := s.Run(id)
+		if err != nil {
+			t.Fatalf("%s: first run: %v", id, err)
+		}
+		r2, err := s.Run(id)
+		if err != nil {
+			t.Fatalf("%s: second run: %v", id, err)
+		}
+		if a, b := r1.Render(), r2.Render(); a != b {
+			t.Errorf("%s: repeated run rendered different artifact:\n--- first ---\n%s--- second ---\n%s", id, a, b)
+		}
+	}
+}

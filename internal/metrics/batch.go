@@ -1,0 +1,73 @@
+package metrics
+
+import (
+	"runtime"
+	"time"
+
+	"lqs/internal/engine/exec"
+	"lqs/internal/opt"
+	"lqs/internal/plan"
+	"lqs/internal/sim"
+	"lqs/internal/workload"
+)
+
+// BatchSpeedup compares one query's real (wall-clock) execution time in row
+// mode and in vectorized batch mode. Unlike DOPSpeedup — where the
+// simulated elapsed time is the quantity of interest — batch execution
+// changes no simulated time at DOP 1 and charges identical counters; what
+// vectorization buys is host CPU, so the measurement here is wall-clock.
+type BatchSpeedup struct {
+	Query string `json:"query"`
+	// RowNS / BatchNS are real execution times in nanoseconds, best of
+	// three runs each (wall-clock is noisy; the minimum is the stable
+	// estimator of the work actually required).
+	RowNS   int64 `json:"row_ns"`
+	BatchNS int64 `json:"batch_ns"`
+	// Speedup is RowNS/BatchNS; > 1 means batch mode is faster.
+	Speedup float64 `json:"speedup"`
+}
+
+// measureWall executes one query once at the given batch size (0 = row
+// mode) and returns the real time spent executing — plan build, cost
+// estimation, and pool cold-start excluded.
+func measureWall(w *workload.Workload, q workload.Query, batch int) time.Duration {
+	p := plan.Finalize(q.Build(w.Builder()))
+	opt.NewEstimator(w.DB.Catalog).Estimate(p)
+	w.DB.ColdStart()
+	// Clear sweep debt left by the previous measurement so neither mode
+	// pays for the other's garbage.
+	runtime.GC()
+	start := time.Now()
+	exec.NewQueryBatch(p, w.DB, opt.DefaultCostModel(), sim.NewClock(), 1, batch).Run()
+	return time.Since(start)
+}
+
+// MeasureBatchSpeedups executes each workload query in row mode and at the
+// given batch size and reports the wall-clock speedups (best of three runs
+// per mode). limit caps the number of queries (0 = all).
+func MeasureBatchSpeedups(w *workload.Workload, batch, limit int) []BatchSpeedup {
+	var out []BatchSpeedup
+	for i, q := range w.Queries {
+		if limit > 0 && i >= limit {
+			break
+		}
+		// Interleave the trials (row, batch, row, batch, ...) so heap
+		// growth and GC pacing drift penalize both modes equally rather
+		// than whichever mode is measured last.
+		var row, vec time.Duration
+		for trial := 0; trial < 3; trial++ {
+			if d := measureWall(w, q, 0); trial == 0 || d < row {
+				row = d
+			}
+			if d := measureWall(w, q, batch); trial == 0 || d < vec {
+				vec = d
+			}
+		}
+		sp := 0.0
+		if vec > 0 {
+			sp = float64(row) / float64(vec)
+		}
+		out = append(out, BatchSpeedup{Query: q.Name, RowNS: int64(row), BatchNS: int64(vec), Speedup: sp})
+	}
+	return out
+}

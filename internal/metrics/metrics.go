@@ -70,6 +70,16 @@ func TraceQueryEvents(w *workload.Workload, q workload.Query, interval sim.Durat
 // final aggregated counters are byte-identical to the serial run; only the
 // simulated elapsed time (and the per-thread DMV rows) differ.
 func TraceQueryEventsDOP(w *workload.Workload, q workload.Query, interval sim.Duration, eventCap, dop int) (*plan.Plan, *dmv.Trace, *trace.Recorder) {
+	return TraceQueryEventsBatch(w, q, interval, eventCap, dop, 0)
+}
+
+// TraceQueryEventsBatch is TraceQueryEventsDOP with vectorized batch
+// execution: batch > 0 runs batch-native subtrees through the columnar
+// executor at that batch size (0 is classic row mode). Result rows and
+// final counters are byte-identical to row mode at any batch size; mid-run
+// snapshots are exact at batch size 1 and boundedly skewed above it (see
+// the exec batch differential battery).
+func TraceQueryEventsBatch(w *workload.Workload, q workload.Query, interval sim.Duration, eventCap, dop, batch int) (*plan.Plan, *dmv.Trace, *trace.Recorder) {
 	tracedQueries.Add(1)
 	root := q.Build(w.Builder())
 	root = plan.Parallelize(root, dop)
@@ -78,7 +88,7 @@ func TraceQueryEventsDOP(w *workload.Workload, q workload.Query, interval sim.Du
 	clock := sim.NewClock()
 	poller := dmv.NewPoller(clock, interval)
 	w.DB.ColdStart()
-	query := exec.NewQueryDOP(p, w.DB, opt.DefaultCostModel(), clock, dop)
+	query := exec.NewQueryBatch(p, w.DB, opt.DefaultCostModel(), clock, dop, batch)
 	var rec *trace.Recorder
 	if eventCap != 0 {
 		if eventCap < 0 {
