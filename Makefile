@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all vet build test race bench bench-json trace-smoke fuzz-smoke chaos-smoke ci
+.PHONY: all vet build test race bench bench-json trace-smoke fuzz-smoke chaos-smoke serve-smoke ci
 
 all: ci
 
@@ -17,10 +17,11 @@ test:
 # cross-goroutine snapshot capture, the buffer-pool latch, the parallel
 # tracing harness (worker pool + ordered merge), the intra-query parallel
 # executor (gather workers + per-thread counters + estimator), the chaos
-# harness (fault injection into parallel workers and the poller), and the
-# expression compiler (compiled predicates run on every parallel worker).
+# harness (fault injection into parallel workers and the poller), the
+# expression compiler (compiled predicates run on every parallel worker),
+# and the monitoring server (concurrent submit/poll/stream/cancel over HTTP).
 race:
-	$(GO) test -race ./internal/lqs/... ./internal/engine/dmv/... ./internal/metrics/... ./internal/trace/... ./internal/obs/... ./internal/engine/exec/... ./internal/engine/expr/... ./internal/progress/... ./internal/chaos/...
+	$(GO) test -race ./internal/lqs/... ./internal/engine/dmv/... ./internal/metrics/... ./internal/trace/... ./internal/obs/... ./internal/engine/exec/... ./internal/engine/expr/... ./internal/progress/... ./internal/chaos/... ./internal/server/...
 
 # Short coverage-guided runs of every native fuzz target: the DMV
 # per-thread aggregation and the progress estimator fed adversarial
@@ -66,4 +67,27 @@ trace-smoke:
 	@ls .trace-smoke/*.trace.json .trace-smoke/*.explain.txt > /dev/null
 	@rm -rf .trace-smoke && echo "trace-smoke: OK"
 
-ci: vet build test race trace-smoke fuzz-smoke chaos-smoke
+# End-to-end smoke of the monitoring server binary: start lqsd on a local
+# port, submit one query over HTTP, wait for it to succeed, scrape /metrics
+# and require the query-progress family, then shut the server down cleanly
+# (SIGTERM exercises the graceful-drain path).
+serve-smoke:
+	@rm -f .serve-smoke.log
+	$(GO) build -o .lqsd-smoke ./cmd/lqsd
+	@./.lqsd-smoke -addr 127.0.0.1:18321 -pace 0 > .serve-smoke.log 2>&1 & \
+	pid=$$!; \
+	trap "kill $$pid 2>/dev/null; rm -f .lqsd-smoke .serve-smoke.log" EXIT; \
+	for i in $$(seq 1 50); do \
+		curl -sf http://127.0.0.1:18321/healthz > /dev/null 2>&1 && break; sleep 0.1; \
+	done; \
+	curl -sf -X POST http://127.0.0.1:18321/queries -d '{"workload":"tpch","query":"Q6","tenant":"smoke"}' | grep -q '"id":1' || { echo "serve-smoke: submit failed"; exit 1; }; \
+	for i in $$(seq 1 100); do \
+		curl -sf http://127.0.0.1:18321/queries/1 | grep -q '"state":"SUCCEEDED"' && break; sleep 0.1; \
+	done; \
+	curl -sf http://127.0.0.1:18321/queries/1 | grep -q '"state":"SUCCEEDED"' || { echo "serve-smoke: query never succeeded"; exit 1; }; \
+	curl -sf http://127.0.0.1:18321/metrics | grep -q '^lqs_query_progress{.*tenant="smoke"' || { echo "serve-smoke: /metrics missing lqs_query_progress"; exit 1; }; \
+	curl -sf http://127.0.0.1:18321/metrics | grep -q '^lqs_buffer_manager_page_hits_total{' || { echo "serve-smoke: /metrics missing buffer-manager family"; exit 1; }; \
+	kill -TERM $$pid; wait $$pid || { echo "serve-smoke: lqsd did not drain cleanly"; exit 1; }; \
+	echo "serve-smoke: OK"
+
+ci: vet build test race trace-smoke fuzz-smoke chaos-smoke serve-smoke

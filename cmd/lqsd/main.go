@@ -1,0 +1,87 @@
+// Command lqsd is the Live Query Statistics monitoring server: it hosts
+// many concurrent monitored queries behind a JSON API and exposes the DMV
+// counter surface as Prometheus metric families on /metrics.
+//
+// Usage:
+//
+//	lqsd                           # listen on :8321, run queries at full speed
+//	lqsd -addr :9090               # another port
+//	lqsd -pace 200us               # sleep 200µs per 1ms of virtual time, so
+//	                               # remote observers watch queries run
+//	lqsd -max-concurrent 16        # admission-control limit
+//
+// Example session:
+//
+//	curl -s -X POST localhost:8321/queries -d '{"workload":"tpch","query":"Q1"}'
+//	curl -s localhost:8321/queries/1?explain=1
+//	curl -s -N localhost:8321/queries/1/stream?interval_ms=100
+//	curl -s localhost:8321/metrics | grep lqs_query_progress
+//	curl -s -X DELETE localhost:8321/queries/1
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"lqs/internal/obs"
+	"lqs/internal/server"
+	"lqs/internal/sim"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8321", "listen address")
+		maxConc  = flag.Int("max-concurrent", 8, "admission control: max queries running at once")
+		maxFin   = flag.Int("max-finished", 64, "terminal queries retained before auto-reap")
+		pace     = flag.Duration("pace", 200*time.Microsecond, "wall-clock sleep per pace-interval of virtual time (0 = full speed)")
+		paceIvl  = flag.Duration("pace-interval", time.Millisecond, "virtual-time interval between pacing sleeps")
+		tick     = flag.Duration("stream-tick", 25*time.Millisecond, "shared SSE poll cadence per query")
+		poll     = flag.Duration("poll-interval", 0, "virtual DMV flight-recorder interval (0 = the paper's 500ms)")
+		histCap  = flag.Int("history-cap", 256, "flight-recorder snapshots retained per query")
+		maxDOP   = flag.Int("max-dop", 8, "max per-query degree of parallelism")
+		drainFor = flag.Duration("drain-timeout", 10*time.Second, "graceful-drain window before running queries are cancelled")
+	)
+	flag.Parse()
+
+	srv := server.New(server.Config{
+		MaxConcurrent: *maxConc,
+		MaxFinished:   *maxFin,
+		Pace:          *pace,
+		PaceInterval:  sim.Duration(*paceIvl),
+		StreamTick:    *tick,
+		PollInterval:  sim.Duration(*poll),
+		HistoryCap:    *histCap,
+		MaxDOP:        *maxDOP,
+		Metrics:       obs.NewRegistry(),
+	})
+	httpSrv := &http.Server{Addr: *addr, Handler: srv}
+
+	errs := make(chan error, 1)
+	go func() { errs <- httpSrv.ListenAndServe() }()
+	fmt.Printf("lqsd listening on %s (max-concurrent=%d, pace=%v/%v)\n",
+		*addr, *maxConc, *pace, *paceIvl)
+
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errs:
+		fmt.Fprintf(os.Stderr, "lqsd: %v\n", err)
+		os.Exit(1)
+	case sig := <-sigs:
+		fmt.Printf("lqsd: %v, draining (up to %v)...\n", sig, *drainFor)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drainFor)
+	defer cancel()
+	_ = httpSrv.Shutdown(ctx)
+	if err := srv.Shutdown(ctx); err != nil {
+		fmt.Printf("lqsd: drain window expired; running queries cancelled\n")
+	}
+	fmt.Println("lqsd: drained")
+}

@@ -141,6 +141,70 @@ func (r *QueryRegistry) Wait(id QueryID) (int64, error) {
 	return e.rows, e.err
 }
 
+// Len returns the number of registry entries, running or finished.
+func (r *QueryRegistry) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.entries)
+}
+
+// terminal reports whether the entry's runner goroutine has finished (its
+// rows/err are recorded and done is closed). Non-blocking.
+func (e *registryEntry) terminal() bool {
+	select {
+	case <-e.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// Remove deletes one finished query from the registry so a long-running
+// server does not accumulate an entry per completed query. Removing a
+// query that is still running is an error — Cancel it and Wait first.
+// The session itself is untouched; callers holding it may keep reading
+// its flight recorder.
+func (r *QueryRegistry) Remove(id QueryID) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e := r.entries[id]
+	if e == nil {
+		return fmt.Errorf("lqs: no query with id %d", id)
+	}
+	if !e.terminal() {
+		return fmt.Errorf("lqs: query %d still running; cancel and wait before removing", id)
+	}
+	delete(r.entries, id)
+	for i, x := range r.order {
+		if x == id {
+			r.order = append(r.order[:i], r.order[i+1:]...)
+			break
+		}
+	}
+	return nil
+}
+
+// Reap removes every finished query and returns the removed IDs in launch
+// order. Running queries are untouched, so Reap is safe to call on a hot
+// registry at any cadence — the server's terminal-entry garbage collector.
+func (r *QueryRegistry) Reap() []QueryID {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var reaped []QueryID
+	keep := r.order[:0]
+	for _, id := range r.order {
+		e := r.entries[id]
+		if e != nil && e.terminal() {
+			delete(r.entries, id)
+			reaped = append(reaped, id)
+			continue
+		}
+		keep = append(keep, id)
+	}
+	r.order = keep
+	return reaped
+}
+
 func (e *registryEntry) info() QueryInfo {
 	snap := e.session.Snapshot()
 	return QueryInfo{

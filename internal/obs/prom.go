@@ -1,0 +1,278 @@
+package obs
+
+// Prometheus text-format exposition for the registry, plus label support.
+//
+// The registry itself stays a flat string-keyed map: a labeled series is
+// just a metric whose name carries a deterministic `{k="v",...}` suffix
+// built by Labeled. Points() splits the suffix back out, so the exposition
+// layer can group series into metric families exactly as the Prometheus
+// text format requires (one # TYPE header, then every series of the
+// family). This mirrors how wmi_exporter's mssql collector turns each
+// performance-counter class into one family with per-instance labels.
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Kind classifies a metric point for exposition.
+type Kind int
+
+const (
+	KindCounter Kind = iota
+	KindGauge
+	KindHistogram
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	case KindHistogram:
+		return "histogram"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Point is one exported series: a family name, an optional label block
+// (the `{k="v",...}` form Labeled builds), and the value. Histograms carry
+// their bucket bounds and cumulative state instead of Value.
+type Point struct {
+	Name   string // family name, no label block
+	Labels string // "" or `{k="v",...}`
+	Kind   Kind
+	Help   string // optional; first non-empty Help in a family wins
+
+	Value float64 // counter / gauge
+
+	Bounds []float64 // histogram bucket upper bounds
+	Counts []int64   // per-bucket (non-cumulative) counts; len(Bounds)+1
+	Sum    float64
+	Count  int64
+}
+
+// Labeled appends a deterministic label block to a metric name:
+// Labeled("lqs/query_progress", "qid", "3", "query", "Q1") →
+// `lqs/query_progress{qid="3",query="Q1"}`. Keys are sorted so the same
+// label set always produces the same registry key; values are escaped per
+// the Prometheus text format. It panics on an odd pair count — a
+// programming error, not data.
+func Labeled(name string, pairs ...string) string {
+	if len(pairs) == 0 {
+		return name
+	}
+	if len(pairs)%2 != 0 {
+		panic("obs: Labeled requires key/value pairs")
+	}
+	type kv struct{ k, v string }
+	kvs := make([]kv, 0, len(pairs)/2)
+	for i := 0; i < len(pairs); i += 2 {
+		kvs = append(kvs, kv{pairs[i], pairs[i+1]})
+	}
+	sort.Slice(kvs, func(i, j int) bool { return kvs[i].k < kvs[j].k })
+	var sb strings.Builder
+	sb.WriteString(name)
+	sb.WriteByte('{')
+	for i, p := range kvs {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(p.k)
+		sb.WriteString(`="`)
+		sb.WriteString(escapeLabel(p.v))
+		sb.WriteByte('"')
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+// escapeLabel escapes a label value per the Prometheus text format.
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var sb strings.Builder
+	for _, r := range v {
+		switch r {
+		case '\\':
+			sb.WriteString(`\\`)
+		case '"':
+			sb.WriteString(`\"`)
+		case '\n':
+			sb.WriteString(`\n`)
+		default:
+			sb.WriteRune(r)
+		}
+	}
+	return sb.String()
+}
+
+// splitLabels splits a registry key into family name and label block.
+func splitLabels(key string) (name, labels string) {
+	if i := strings.IndexByte(key, '{'); i >= 0 && strings.HasSuffix(key, "}") {
+		return key[:i], key[i:]
+	}
+	return key, ""
+}
+
+// PromName sanitizes a registry name into a legal Prometheus metric name:
+// every character outside [a-zA-Z0-9_:] becomes '_' (so "dmv/poll_ticks" →
+// "dmv_poll_ticks"), and a leading digit gains a '_' prefix.
+func PromName(name string) string {
+	var sb strings.Builder
+	for i, r := range name {
+		ok := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(r >= '0' && r <= '9' && i > 0)
+		if r >= '0' && r <= '9' && i == 0 {
+			sb.WriteByte('_')
+			sb.WriteRune(r)
+			continue
+		}
+		if ok {
+			sb.WriteRune(r)
+		} else {
+			sb.WriteByte('_')
+		}
+	}
+	return sb.String()
+}
+
+// snapshot returns a copy of the histogram's state.
+func (h *Histogram) snapshot() (bounds []float64, counts []int64, sum float64, n int64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return append([]float64(nil), h.bounds...), append([]int64(nil), h.counts...), h.sum, h.n
+}
+
+// Points snapshots every metric in the registry as exposition points,
+// sorted by (family, labels) — the deterministic order WriteProm needs.
+// Registry keys built with Labeled come back with Name and Labels split.
+func (r *Registry) Points() []Point {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	pts := make([]Point, 0, len(r.counters)+len(r.gauges)+len(r.histograms))
+	for key, c := range r.counters {
+		name, labels := splitLabels(key)
+		pts = append(pts, Point{Name: name, Labels: labels, Kind: KindCounter, Value: float64(c.Value())})
+	}
+	for key, g := range r.gauges {
+		name, labels := splitLabels(key)
+		pts = append(pts, Point{Name: name, Labels: labels, Kind: KindGauge, Value: float64(g.Value())})
+	}
+	hists := make(map[string]*Histogram, len(r.histograms))
+	for key, h := range r.histograms {
+		hists[key] = h
+	}
+	r.mu.Unlock()
+	for key, h := range hists {
+		name, labels := splitLabels(key)
+		bounds, counts, sum, n := h.snapshot()
+		pts = append(pts, Point{
+			Name: name, Labels: labels, Kind: KindHistogram,
+			Bounds: bounds, Counts: counts, Sum: sum, Count: n,
+		})
+	}
+	SortPoints(pts)
+	return pts
+}
+
+// SortPoints orders points by (sanitized family name, label block) — the
+// grouping WriteProm renders. Callers merging registry points with
+// hand-built ones sort the combined slice once before writing.
+func SortPoints(pts []Point) {
+	sort.Slice(pts, func(i, j int) bool {
+		a, b := PromName(pts[i].Name), PromName(pts[j].Name)
+		if a != b {
+			return a < b
+		}
+		return pts[i].Labels < pts[j].Labels
+	})
+}
+
+// formatValue renders a sample value the way Prometheus expects: shortest
+// round-trippable decimal.
+func formatValue(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// withLabel merges one more label into an existing label block (used to
+// splice le="..." into histogram bucket series).
+func withLabel(labels, k, v string) string {
+	pair := k + `="` + escapeLabel(v) + `"`
+	if labels == "" {
+		return "{" + pair + "}"
+	}
+	return labels[:len(labels)-1] + "," + pair + "}"
+}
+
+// WriteProm renders points in the Prometheus text exposition format:
+// families sorted by name, one optional # HELP and one # TYPE header per
+// family, then every series. Points must be sorted (SortPoints); Points()
+// already is. Identical point sets always render byte-identically.
+func WriteProm(w io.Writer, pts []Point) error {
+	var lastFamily string
+	for i := range pts {
+		p := &pts[i]
+		fam := PromName(p.Name)
+		if fam != lastFamily {
+			if p.Help != "" {
+				if _, err := fmt.Fprintf(w, "# HELP %s %s\n", fam, p.Help); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", fam, p.Kind); err != nil {
+				return err
+			}
+			lastFamily = fam
+		}
+		switch p.Kind {
+		case KindHistogram:
+			if err := writeHistogram(w, fam, p); err != nil {
+				return err
+			}
+		default:
+			if _, err := fmt.Fprintf(w, "%s%s %s\n", fam, p.Labels, formatValue(p.Value)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// writeHistogram expands one histogram point into cumulative _bucket
+// series plus _sum and _count.
+func writeHistogram(w io.Writer, fam string, p *Point) error {
+	var cum int64
+	for i, b := range p.Bounds {
+		if i < len(p.Counts) {
+			cum += p.Counts[i]
+		}
+		le := strconv.FormatFloat(b, 'g', -1, 64)
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", fam, withLabel(p.Labels, "le", le), cum); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", fam, withLabel(p.Labels, "le", "+Inf"), p.Count); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", fam, p.Labels, formatValue(p.Sum)); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", fam, p.Labels, p.Count)
+	return err
+}
+
+// PromText renders the whole registry in the Prometheus text format.
+func (r *Registry) PromText() string {
+	var sb strings.Builder
+	_ = WriteProm(&sb, r.Points())
+	return sb.String()
+}

@@ -1,0 +1,226 @@
+package server
+
+// Wire types of the JSON API. Every duration on the wire is virtual time
+// in microseconds (the engine simulates time; nothing here is wall clock),
+// so responses are deterministic for a deterministic workload.
+
+import (
+	"encoding/json"
+	"net/http"
+
+	"lqs/internal/lqs"
+	"lqs/internal/progress"
+	"lqs/internal/sim"
+)
+
+// QuerySpec is the POST /queries request body: which workload query to
+// host and how to run it.
+type QuerySpec struct {
+	// Workload names the generator: tpch, tpch-cs, tpcds, real1, real2,
+	// real3. Default tpch.
+	Workload string `json:"workload,omitempty"`
+	// Query is the query name within the workload (Q1, Q6, ...). Required.
+	Query string `json:"query"`
+	// Seed is the workload generator seed. Default 42.
+	Seed uint64 `json:"seed,omitempty"`
+	// DOP is the degree of parallelism for parallel zones. Default 1.
+	DOP int `json:"dop,omitempty"`
+	// Tenant labels the query's metric series and registry listing.
+	// Default "default".
+	Tenant string `json:"tenant,omitempty"`
+	// DeadlineMS aborts the query at this much virtual time, like
+	// lqsmon -deadline. 0 means none.
+	DeadlineMS int64 `json:"deadline_ms,omitempty"`
+}
+
+// SubmitResponse is the POST /queries reply.
+type SubmitResponse struct {
+	ID       int64  `json:"id"`
+	Name     string `json:"name"`
+	Location string `json:"location"`
+}
+
+// OpJSON is one operator's live display state within a status or frame.
+type OpJSON struct {
+	Node     int     `json:"node"`
+	Op       string  `json:"op"`
+	Progress float64 `json:"progress"`
+	Rows     int64   `json:"rows"`
+	EstRows  float64 `json:"est_rows"`
+	Active   bool    `json:"active,omitempty"`
+	Done     bool    `json:"done,omitempty"`
+}
+
+// TermJSON is one operator's term in the estimator decomposition
+// (progress.Term over the wire).
+type TermJSON struct {
+	Node         int     `json:"node"`
+	Op           string  `json:"op"`
+	K            int64   `json:"k"`
+	N            float64 `json:"n"`
+	EstRows      float64 `json:"est_rows"`
+	Source       string  `json:"source"`
+	Alpha        float64 `json:"alpha,omitempty"`
+	Pipeline     int     `json:"pipeline"`
+	Driver       bool    `json:"driver,omitempty"`
+	InnerDriver  bool    `json:"inner_driver,omitempty"`
+	Contribution float64 `json:"contribution"`
+}
+
+// ExplainJSON is the estimator decomposition of one poll: terms whose
+// contributions sum exactly to RawQuery, for every estimator mode —
+// the invariant the e2e battery re-proves over the wire.
+type ExplainJSON struct {
+	AtUS     int64      `json:"at_us"`
+	Mode     string     `json:"mode"`
+	RawQuery float64    `json:"raw_query"`
+	Query    float64    `json:"query"`
+	Degraded bool       `json:"degraded,omitempty"`
+	Terms    []TermJSON `json:"terms"`
+}
+
+// StatusJSON is the GET /queries/{id} reply: one poll's display state.
+type StatusJSON struct {
+	ID            int64        `json:"id"`
+	Name          string       `json:"name"`
+	Workload      string       `json:"workload"`
+	Query         string       `json:"query"`
+	Tenant        string       `json:"tenant"`
+	DOP           int          `json:"dop"`
+	State         string       `json:"state"`
+	Terminal      bool         `json:"terminal"`
+	Progress      float64      `json:"progress"`
+	Rows          int64        `json:"rows"`
+	VirtualUS     int64        `json:"virtual_us"`
+	Degraded      bool         `json:"degraded,omitempty"`
+	DegradeReason string       `json:"degrade_reason,omitempty"`
+	Error         string       `json:"error,omitempty"`
+	Ops           []OpJSON     `json:"ops,omitempty"`
+	Explain       *ExplainJSON `json:"explain,omitempty"`
+}
+
+// ListResponse is the GET /queries reply.
+type ListResponse struct {
+	Queries []StatusJSON `json:"queries"`
+}
+
+// FrameJSON is one SSE progress frame (GET /queries/{id}/stream).
+type FrameJSON struct {
+	AtUS          int64    `json:"at_us"`
+	Progress      float64  `json:"progress"`
+	State         string   `json:"state"`
+	Terminal      bool     `json:"terminal"`
+	Rows          int64    `json:"rows"`
+	Degraded      bool     `json:"degraded,omitempty"`
+	DegradeReason string   `json:"degrade_reason,omitempty"`
+	Error         string   `json:"error,omitempty"`
+	Ops           []OpJSON `json:"ops"`
+}
+
+// HistNodeJSON is one node's raw DMV counters in a history frame.
+type HistNodeJSON struct {
+	Node   int    `json:"node"`
+	Op     string `json:"op"`
+	Rows   int64  `json:"rows"`
+	CPUUS  int64  `json:"cpu_us"`
+	IOUS   int64  `json:"io_us"`
+	Opened bool   `json:"opened,omitempty"`
+	Closed bool   `json:"closed,omitempty"`
+}
+
+// HistFrameJSON is one flight-recorder snapshot (GET /queries/{id}/history).
+type HistFrameJSON struct {
+	AtUS          int64          `json:"at_us"`
+	Degraded      bool           `json:"degraded,omitempty"`
+	DegradeReason string         `json:"degrade_reason,omitempty"`
+	Nodes         []HistNodeJSON `json:"nodes"`
+}
+
+// HistoryResponse is the GET /queries/{id}/history reply: the dmv.Poller
+// flight recorder over the wire.
+type HistoryResponse struct {
+	Frames  []HistFrameJSON `json:"frames"`
+	Dropped int64           `json:"dropped"`
+}
+
+// Error codes of the typed JSON error body.
+const (
+	CodeBadRequest        = "BAD_REQUEST"
+	CodeUnknownQuery      = "UNKNOWN_QUERY"
+	CodeNotFound          = "NOT_FOUND"
+	CodeAdmissionRejected = "ADMISSION_REJECTED"
+	CodeDraining          = "DRAINING"
+)
+
+// APIError is the typed error body: {"error": {...}}.
+type APIError struct {
+	Code          string `json:"code"`
+	Message       string `json:"message"`
+	MaxConcurrent int    `json:"max_concurrent,omitempty"`
+}
+
+type errorBody struct {
+	Err APIError `json:"error"`
+}
+
+// writeJSON writes v with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+// writeErr writes a typed JSON error body.
+func writeErr(w http.ResponseWriter, status int, e APIError) {
+	writeJSON(w, status, errorBody{Err: e})
+}
+
+// us converts virtual time to wire microseconds.
+func us(d sim.Duration) int64 { return int64(d / 1000) }
+
+// opsJSON converts a session snapshot's operator rows.
+func opsJSON(ops []lqs.OpStatus) []OpJSON {
+	out := make([]OpJSON, len(ops))
+	for i, op := range ops {
+		out[i] = OpJSON{
+			Node:     op.NodeID,
+			Op:       op.Name,
+			Progress: op.Progress,
+			Rows:     op.RowsSoFar,
+			EstRows:  op.EstRows,
+			Active:   op.Active,
+			Done:     op.Done,
+		}
+	}
+	return out
+}
+
+// explainJSON converts an estimator decomposition.
+func explainJSON(x *progress.Explanation) *ExplainJSON {
+	out := &ExplainJSON{
+		AtUS:     us(x.At),
+		Mode:     x.Mode,
+		RawQuery: x.RawQuery,
+		Query:    x.Query,
+		Degraded: x.Degraded,
+		Terms:    make([]TermJSON, len(x.Terms)),
+	}
+	for i, t := range x.Terms {
+		out.Terms[i] = TermJSON{
+			Node:         t.NodeID,
+			Op:           t.Physical.String(),
+			K:            t.K,
+			N:            t.N,
+			EstRows:      t.EstRows,
+			Source:       t.Source.String(),
+			Alpha:        t.Alpha,
+			Pipeline:     t.Pipeline,
+			Driver:       t.Driver,
+			InnerDriver:  t.InnerDriver,
+			Contribution: t.Contribution,
+		}
+	}
+	return out
+}

@@ -1,0 +1,225 @@
+package server
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"lqs/internal/engine/dmv"
+	"lqs/internal/engine/storage"
+	"lqs/internal/lqs"
+	"lqs/internal/progress"
+	"lqs/internal/sim"
+	"lqs/internal/workload"
+)
+
+// hostedQuery is one monitored query the server hosts: the session and its
+// private database, the virtual-time DMV poller (flight recorder), and the
+// SSE fan-out. The registry's runner goroutine steps the query; a watcher
+// goroutine closes terminal when it finishes; the fanout goroutine owns
+// the shared poll cadence for every streaming client.
+type hostedQuery struct {
+	id   lqs.QueryID
+	name string
+	spec QuerySpec
+	srv  *Server
+
+	sess   *lqs.Session
+	poller *dmv.Poller
+	db     *storage.Database
+
+	fan *fanout
+	// terminal closes once the runner goroutine has finished (the query is
+	// in a terminal state and its result is recorded in the registry).
+	terminal chan struct{}
+}
+
+// done reports whether the query has fully finished (runner exited).
+func (h *hostedQuery) done() bool {
+	select {
+	case <-h.terminal:
+		return true
+	default:
+		return false
+	}
+}
+
+// buildWorkload regenerates a workload from its name and seed. Each hosted
+// query gets a private database (its own buffer pool and virtual clock),
+// so concurrent queries never contend on engine state and every query's
+// counters stay deterministic.
+func buildWorkload(name string, seed uint64) (*workload.Workload, error) {
+	switch strings.ToLower(name) {
+	case "", "tpch":
+		return workload.TPCH(seed, workload.TPCHRowstore), nil
+	case "tpch-cs":
+		return workload.TPCH(seed, workload.TPCHColumnstore), nil
+	case "tpcds":
+		return workload.TPCDS(seed), nil
+	case "real1":
+		return workload.REAL1(seed), nil
+	case "real2":
+		return workload.REAL2(seed), nil
+	case "real3":
+		return workload.REAL3(seed), nil
+	}
+	return nil, fmt.Errorf("unknown workload %q", name)
+}
+
+// newHosted builds the session, poller, and pacing for a validated spec.
+// It does not launch; the server launches under its admission lock.
+func newHosted(srv *Server, spec QuerySpec) (*hostedQuery, error) {
+	w, err := buildWorkload(spec.Workload, spec.Seed)
+	if err != nil {
+		return nil, err
+	}
+	var query *workload.Query
+	for i := range w.Queries {
+		if strings.EqualFold(w.Queries[i].Name, spec.Query) {
+			query = &w.Queries[i]
+			break
+		}
+	}
+	if query == nil {
+		return nil, fmt.Errorf("no query %q in workload %s", spec.Query, w.Name)
+	}
+
+	sess := lqs.StartDOP(w.DB, query.Build(w.Builder()), spec.DOP, progress.LQSOptions())
+	if spec.DeadlineMS > 0 {
+		sess.Query.Ctx.Deadline = time.Duration(spec.DeadlineMS) * time.Millisecond
+	}
+
+	h := &hostedQuery{
+		name:     w.Name + "/" + query.Name,
+		spec:     spec,
+		srv:      srv,
+		sess:     sess,
+		db:       w.DB,
+		fan:      newFanout(),
+		terminal: make(chan struct{}),
+	}
+
+	// Flight recorder: a DMV poller on the query's own virtual clock. Its
+	// observer fires inside Advance on the executor goroutine (which holds
+	// the counter lock), so readers synchronize via LockCounters.
+	h.poller = dmv.NewPoller(sess.Query.Ctx.Clock, srv.cfg.PollInterval)
+	h.poller.SetHistoryCap(srv.cfg.HistoryCap)
+	h.poller.SetMetrics(srv.obs)
+	h.poller.Register(sess.Query)
+
+	// Pacing: convert virtual progress into wall time so remote observers
+	// see a query *run* rather than a terminal flash. The observer sleeps
+	// on the executor goroutine at every PaceInterval of virtual time.
+	if srv.cfg.Pace > 0 {
+		pace := srv.cfg.Pace
+		sess.Query.Ctx.Clock.Observe(srv.cfg.PaceInterval, func(sim.Duration) {
+			time.Sleep(pace)
+		})
+	}
+	return h, nil
+}
+
+// status builds one poll's wire status. Snapshot and Explain are separate
+// polls of the shared session (each internally consistent; both safe from
+// any goroutine).
+func (h *hostedQuery) status(withOps, withExplain bool) StatusJSON {
+	snap := h.sess.Snapshot()
+	st := StatusJSON{
+		ID:            int64(h.id),
+		Name:          h.name,
+		Workload:      h.spec.Workload,
+		Query:         h.spec.Query,
+		Tenant:        h.spec.Tenant,
+		DOP:           h.spec.DOP,
+		State:         snap.State.String(),
+		Terminal:      snap.State.Terminal(),
+		Progress:      snap.Progress,
+		Rows:          h.sess.Query.RowsReturned(),
+		VirtualUS:     us(snap.At),
+		Degraded:      snap.Degraded,
+		DegradeReason: snap.DegradeReason,
+	}
+	if snap.Err != nil {
+		st.Error = snap.Err.Error()
+	}
+	if withOps {
+		st.Ops = opsJSON(snap.Ops)
+	}
+	if withExplain {
+		st.Explain = explainJSON(h.sess.Explain())
+	}
+	return st
+}
+
+// frame builds one SSE frame from a fresh poll.
+func (h *hostedQuery) frame() FrameJSON {
+	snap := h.sess.Snapshot()
+	f := FrameJSON{
+		AtUS:          us(snap.At),
+		Progress:      snap.Progress,
+		State:         snap.State.String(),
+		Terminal:      snap.State.Terminal(),
+		Rows:          h.sess.Query.RowsReturned(),
+		Degraded:      snap.Degraded,
+		DegradeReason: snap.DegradeReason,
+		Ops:           opsJSON(snap.Ops),
+	}
+	if snap.Err != nil {
+		f.Error = snap.Err.Error()
+	}
+	return f
+}
+
+// history drains the poller flight recorder into wire frames. It holds the
+// query counter lock to synchronize with the executor-side poller observer.
+func (h *hostedQuery) history() HistoryResponse {
+	q := h.sess.Query
+	q.LockCounters()
+	defer q.UnlockCounters()
+	snaps, dropped := h.poller.History(q)
+	out := HistoryResponse{Frames: make([]HistFrameJSON, 0, len(snaps)), Dropped: dropped}
+	for _, snap := range snaps {
+		snap.Aggregate()
+		hf := HistFrameJSON{
+			AtUS:          us(snap.At),
+			Degraded:      snap.Degraded,
+			DegradeReason: snap.DegradeReason,
+			Nodes:         make([]HistNodeJSON, 0, len(snap.Ops)),
+		}
+		for i := range snap.Ops {
+			op := &snap.Ops[i]
+			hf.Nodes = append(hf.Nodes, HistNodeJSON{
+				Node:   op.NodeID,
+				Op:     op.Physical.String(),
+				Rows:   op.ActualRows,
+				CPUUS:  us(op.CPUTime),
+				IOUS:   us(op.IOTime),
+				Opened: op.Opened,
+				Closed: op.Closed,
+			})
+		}
+		out.Frames = append(out.Frames, hf)
+	}
+	return out
+}
+
+// fanoutLoop owns the query's single shared poll cadence: one snapshot per
+// tick, fanned out to every streaming client (their chosen intervals gate
+// delivery per client). On terminal it broadcasts a final frame to every
+// client and closes the fan-out.
+func (h *hostedQuery) fanoutLoop() {
+	tick := time.NewTicker(h.srv.cfg.StreamTick)
+	defer tick.Stop()
+	for {
+		select {
+		case <-h.terminal:
+			h.fan.close(h.frame())
+			return
+		case <-tick.C:
+			if h.fan.empty() {
+				continue
+			}
+			h.fan.broadcast(h.frame(), time.Now())
+		}
+	}
+}
