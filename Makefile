@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all vet build test race bench bench-json trace-smoke fuzz-smoke chaos-smoke serve-smoke ci
+.PHONY: all vet build test race bench bench-json trace-smoke fuzz-smoke chaos-smoke serve-smoke acc-json acc-smoke ci
 
 all: ci
 
@@ -21,7 +21,7 @@ test:
 # expression compiler (compiled predicates run on every parallel worker),
 # and the monitoring server (concurrent submit/poll/stream/cancel over HTTP).
 race:
-	$(GO) test -race ./internal/lqs/... ./internal/engine/dmv/... ./internal/metrics/... ./internal/trace/... ./internal/obs/... ./internal/engine/exec/... ./internal/engine/expr/... ./internal/progress/... ./internal/chaos/... ./internal/server/...
+	$(GO) test -race ./internal/lqs/... ./internal/engine/dmv/... ./internal/metrics/... ./internal/trace/... ./internal/obs/... ./internal/engine/exec/... ./internal/engine/expr/... ./internal/progress/... ./internal/chaos/... ./internal/server/... ./internal/accuracy/...
 
 # Short coverage-guided runs of every native fuzz target: the DMV
 # per-thread aggregation and the progress estimator fed adversarial
@@ -90,4 +90,20 @@ serve-smoke:
 	kill -TERM $$pid; wait $$pid || { echo "serve-smoke: lqsd did not drain cleanly"; exit 1; }; \
 	echo "serve-smoke: OK"
 
-ci: vet build test race trace-smoke fuzz-smoke chaos-smoke serve-smoke
+# Estimator-accuracy trajectory artifact: replay the quick suite through
+# every estimator mode (TGN/DNE/LQS) against the ground-truth oracle and
+# commit the per-query error metrics. Deterministic: the same seed yields
+# a byte-identical file. Exits non-zero if any mode breaches its pinned
+# error ceiling. Override the label per PR: `make acc-json ACC_LABEL=pr10`.
+ACC_LABEL ?= pr9
+acc-json:
+	$(GO) run ./cmd/lqsbench -accuracy -acc-label $(ACC_LABEL) -acc-json ACC_$(ACC_LABEL).json
+
+# Quick accuracy gate for CI: same suite, artifact to a scratch file, plus
+# the in-tree threshold test (the per-mode ceilings also run under plain
+# `make test` via TestQuickSuiteWithinCeilings).
+acc-smoke:
+	$(GO) run ./cmd/lqsbench -accuracy -acc-label ci -acc-json .acc-smoke.json
+	@rm -f .acc-smoke.json && echo "acc-smoke: OK"
+
+ci: vet build test race trace-smoke fuzz-smoke chaos-smoke serve-smoke acc-smoke

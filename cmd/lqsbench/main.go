@@ -21,6 +21,11 @@
 //	lqsbench -chaos                     # run the chaos differential battery
 //	lqsbench -chaos -full -chaos-seed 7 # full fault grid under another seed
 //
+//	lqsbench -accuracy                      # estimator-accuracy suite
+//	                                        # (TPC-H+TPC-DS x TGN/DNE/LQS)
+//	lqsbench -accuracy -acc-json ACC.json   # write the ACC_*.json artifact
+//	lqsbench -accuracy -full                # every query of both workloads
+//
 // Output is byte-identical at every -parallel setting: workers trace
 // against private regenerated workloads and results merge in query order.
 // That extends to -trace-dir: the emitted trace files carry virtual
@@ -38,6 +43,7 @@ import (
 	"strings"
 	"time"
 
+	"lqs/internal/accuracy"
 	"lqs/internal/chaos"
 	"lqs/internal/engine/dmv"
 	"lqs/internal/experiments"
@@ -96,8 +102,46 @@ func main() {
 		dumpObs  = flag.Bool("metrics", false, "dump the metrics registry (pool counters, estimator-error histograms) on exit")
 		chaosRun = flag.Bool("chaos", false, "run the chaos differential battery (TPC-H/TPC-DS x DOP x fault-rate grid) and exit non-zero on contract violations")
 		chaosSd  = flag.Uint64("chaos-seed", 42, "master seed for the -chaos battery")
+		accRun   = flag.Bool("accuracy", false, "run the estimator-accuracy suite (TPC-H/TPC-DS x TGN/DNE/LQS) and exit non-zero on ceiling breaches")
+		accOut   = flag.String("acc-json", "", "with -accuracy: write the ACC_*.json trajectory to this file ('-' = stdout)")
+		accLabel = flag.String("acc-label", "dev", "with -accuracy: label stamped into the report")
 	)
 	flag.Parse()
+
+	if *accRun {
+		rep, err := accuracy.Run(accuracy.Config{
+			Label:    *accLabel,
+			Seed:     *seed,
+			Full:     *full,
+			Parallel: *parallel,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Print(rep.Render())
+		if *accOut != "" {
+			buf, err := rep.JSON()
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			if *accOut == "-" {
+				os.Stdout.Write(buf)
+			} else if err := os.WriteFile(*accOut, buf, 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+		if viol := rep.Violations(accuracy.DefaultCeilings()); len(viol) > 0 {
+			fmt.Println("\naccuracy ceiling breaches:")
+			for _, v := range viol {
+				fmt.Println("  " + v)
+			}
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *chaosRun {
 		cfg := chaos.GridConfig{Seed: *chaosSd, RetryOnCrash: 2}

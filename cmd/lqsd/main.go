@@ -9,6 +9,8 @@
 //	lqsd -pace 200us               # sleep 200µs per 1ms of virtual time, so
 //	                               # remote observers watch queries run
 //	lqsd -max-concurrent 16        # admission-control limit
+//	lqsd -chaos 0.01               # cross-layer fault injection at rate 0.01
+//	lqsd -chaos 0.01 -chaos-seed 7 # ... with a reproducible fault sequence
 //
 // Example session:
 //
@@ -29,6 +31,7 @@ import (
 	"syscall"
 	"time"
 
+	"lqs/internal/chaos"
 	"lqs/internal/obs"
 	"lqs/internal/server"
 	"lqs/internal/sim"
@@ -36,18 +39,26 @@ import (
 
 func main() {
 	var (
-		addr     = flag.String("addr", ":8321", "listen address")
-		maxConc  = flag.Int("max-concurrent", 8, "admission control: max queries running at once")
-		maxFin   = flag.Int("max-finished", 64, "terminal queries retained before auto-reap")
-		pace     = flag.Duration("pace", 200*time.Microsecond, "wall-clock sleep per pace-interval of virtual time (0 = full speed)")
-		paceIvl  = flag.Duration("pace-interval", time.Millisecond, "virtual-time interval between pacing sleeps")
-		tick     = flag.Duration("stream-tick", 25*time.Millisecond, "shared SSE poll cadence per query")
-		poll     = flag.Duration("poll-interval", 0, "virtual DMV flight-recorder interval (0 = the paper's 500ms)")
-		histCap  = flag.Int("history-cap", 256, "flight-recorder snapshots retained per query")
-		maxDOP   = flag.Int("max-dop", 8, "max per-query degree of parallelism")
-		drainFor = flag.Duration("drain-timeout", 10*time.Second, "graceful-drain window before running queries are cancelled")
+		addr      = flag.String("addr", ":8321", "listen address")
+		maxConc   = flag.Int("max-concurrent", 8, "admission control: max queries running at once")
+		maxFin    = flag.Int("max-finished", 64, "terminal queries retained before auto-reap")
+		pace      = flag.Duration("pace", 200*time.Microsecond, "wall-clock sleep per pace-interval of virtual time (0 = full speed)")
+		paceIvl   = flag.Duration("pace-interval", time.Millisecond, "virtual-time interval between pacing sleeps")
+		tick      = flag.Duration("stream-tick", 25*time.Millisecond, "shared SSE poll cadence per query")
+		poll      = flag.Duration("poll-interval", 0, "virtual DMV flight-recorder interval (0 = the paper's 500ms)")
+		histCap   = flag.Int("history-cap", 256, "flight-recorder snapshots retained per query")
+		maxDOP    = flag.Int("max-dop", 8, "max per-query degree of parallelism")
+		drainFor  = flag.Duration("drain-timeout", 10*time.Second, "graceful-drain window before running queries are cancelled")
+		chaosRate = flag.Float64("chaos", 0, "cross-layer fault-injection rate (0 = off); every hosted query draws an independent derived fault stream")
+		chaosSeed = flag.Uint64("chaos-seed", 1, "master chaos seed (with -chaos)")
 	)
 	flag.Parse()
+
+	var chaosCfg *chaos.Config
+	if *chaosRate > 0 {
+		cfg := chaos.RateConfig(*chaosRate, *chaosSeed)
+		chaosCfg = &cfg
+	}
 
 	srv := server.New(server.Config{
 		MaxConcurrent: *maxConc,
@@ -59,6 +70,7 @@ func main() {
 		HistoryCap:    *histCap,
 		MaxDOP:        *maxDOP,
 		Metrics:       obs.NewRegistry(),
+		Chaos:         chaosCfg,
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: srv}
 

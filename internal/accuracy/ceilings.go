@@ -1,0 +1,70 @@
+package accuracy
+
+import "fmt"
+
+// Ceiling pins one mode's worst tolerated accuracy. The values are
+// regression fences, not aspirations: each sits above the measured quick
+// suite (seed 42) with margin for benign estimator drift, so crossing one
+// means the estimator got materially worse, the same way a speed ceiling
+// crossing means the code got materially slower.
+type Ceiling struct {
+	// MeanAbsErr fences the per-mode mean of per-query mean errors.
+	MeanAbsErr float64
+	// MaxAbsErr fences the worst per-query max error.
+	MaxAbsErr float64
+	// MeanTerminalErr fences the mean at-completion gap.
+	MeanTerminalErr float64
+	// MinBoundsCoverage floors the bound-coverage rate (0 disables the
+	// check, for modes that compute no bounds).
+	MinBoundsCoverage float64
+	// MaxMonotonicityViolations caps total progress regressions across the
+	// suite (LQS must report 0; the baselines get headroom since nothing
+	// clamps them).
+	MaxMonotonicityViolations int
+}
+
+// DefaultCeilings is the pinned per-mode regression fence for the quick
+// suite. TGN is the paper's weak baseline and gets the loosest fence; DNE
+// sits between; LQS carries the tight fence plus the hard invariants
+// (bounds always cover the truth, monotone progress never regresses).
+func DefaultCeilings() map[string]Ceiling {
+	// Measured on the quick suite at seed 42: TGN mean 0.126 / max 0.771 /
+	// terminal 0.116; DNE mean 0.131 / max 0.847 / terminal 0; LQS mean
+	// 0.032 / max 0.252 / terminal 0, bounds coverage exactly 1.
+	return map[string]Ceiling{
+		"TGN": {MeanAbsErr: 0.18, MaxAbsErr: 0.90, MeanTerminalErr: 0.18},
+		"DNE": {MeanAbsErr: 0.18, MaxAbsErr: 0.95, MeanTerminalErr: 0.05},
+		"LQS": {MeanAbsErr: 0.08, MaxAbsErr: 0.40, MeanTerminalErr: 0.02,
+			MinBoundsCoverage: 1, MaxMonotonicityViolations: 0},
+	}
+}
+
+// Violations checks the report's per-mode summary against the ceilings and
+// returns one line per breach (empty = suite passed). Modes without a
+// ceiling pass vacuously, so experimental modes can ride the suite before
+// being pinned.
+func (r *Report) Violations(ceilings map[string]Ceiling) []string {
+	var out []string
+	for _, s := range r.Summary {
+		c, ok := ceilings[s.Mode]
+		if !ok {
+			continue
+		}
+		if s.MeanAbsErr > c.MeanAbsErr {
+			out = append(out, fmt.Sprintf("%s: mean abs err %.4f exceeds ceiling %.4f", s.Mode, s.MeanAbsErr, c.MeanAbsErr))
+		}
+		if s.MaxAbsErr > c.MaxAbsErr {
+			out = append(out, fmt.Sprintf("%s: max abs err %.4f exceeds ceiling %.4f", s.Mode, s.MaxAbsErr, c.MaxAbsErr))
+		}
+		if s.MeanTerminalErr > c.MeanTerminalErr {
+			out = append(out, fmt.Sprintf("%s: mean terminal err %.4f exceeds ceiling %.4f", s.Mode, s.MeanTerminalErr, c.MeanTerminalErr))
+		}
+		if c.MinBoundsCoverage > 0 && s.BoundsCoverage < c.MinBoundsCoverage {
+			out = append(out, fmt.Sprintf("%s: bounds coverage %.4f below floor %.4f", s.Mode, s.BoundsCoverage, c.MinBoundsCoverage))
+		}
+		if s.MonotonicityViolations > c.MaxMonotonicityViolations {
+			out = append(out, fmt.Sprintf("%s: %d monotonicity violations exceed cap %d", s.Mode, s.MonotonicityViolations, c.MaxMonotonicityViolations))
+		}
+	}
+	return out
+}

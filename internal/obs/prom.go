@@ -122,8 +122,24 @@ func splitLabels(key string) (name, labels string) {
 
 // PromName sanitizes a registry name into a legal Prometheus metric name:
 // every character outside [a-zA-Z0-9_:] becomes '_' (so "dmv/poll_ticks" →
-// "dmv_poll_ticks"), and a leading digit gains a '_' prefix.
+// "dmv_poll_ticks"), and a leading digit gains a '_' prefix. Names already
+// legal (the common case: per-query families are emitted pre-sanitized)
+// return unchanged without allocating.
 func PromName(name string) string {
+	clean := true
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		if c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(c >= '0' && c <= '9' && i > 0) {
+			continue
+		}
+		clean = false
+		break
+	}
+	if clean {
+		return name
+	}
 	var sb strings.Builder
 	for i, r := range name {
 		ok := r == '_' || r == ':' ||
@@ -188,13 +204,33 @@ func (r *Registry) Points() []Point {
 // grouping WriteProm renders. Callers merging registry points with
 // hand-built ones sort the combined slice once before writing.
 func SortPoints(pts []Point) {
-	sort.Slice(pts, func(i, j int) bool {
-		a, b := PromName(pts[i].Name), PromName(pts[j].Name)
-		if a != b {
-			return a < b
-		}
-		return pts[i].Labels < pts[j].Labels
-	})
+	// Sanitized names are precomputed once per point: PromName in the
+	// comparator would run (and, for unsanitized names, allocate) on every
+	// one of the O(n log n) comparisons, which dominated scrape cost on
+	// servers hosting many queries.
+	keys := make([]string, len(pts))
+	for i := range pts {
+		keys[i] = PromName(pts[i].Name)
+	}
+	sort.Sort(&pointSorter{pts: pts, keys: keys})
+}
+
+// pointSorter orders points by sanitized family name, then label block.
+type pointSorter struct {
+	pts  []Point
+	keys []string
+}
+
+func (s *pointSorter) Len() int { return len(s.pts) }
+func (s *pointSorter) Less(i, j int) bool {
+	if s.keys[i] != s.keys[j] {
+		return s.keys[i] < s.keys[j]
+	}
+	return s.pts[i].Labels < s.pts[j].Labels
+}
+func (s *pointSorter) Swap(i, j int) {
+	s.pts[i], s.pts[j] = s.pts[j], s.pts[i]
+	s.keys[i], s.keys[j] = s.keys[j], s.keys[i]
 }
 
 // formatValue renders a sample value the way Prometheus expects: shortest

@@ -107,9 +107,18 @@ func (e *Estimator) ComputeBounds(snap *dmv.Snapshot) []Bounds {
 				ub += kid[i].UB
 			}
 			b = Bounds{LB: math.Max(lb, k), UB: ub}
-		case plan.Filter, plan.Exchange, plan.SegmentOp, plan.DistinctSort:
+		case plan.Filter, plan.SegmentOp, plan.DistinctSort:
 			kc := float64(snap.Op(n.Children[0].ID).ActualRows)
 			b = Bounds{LB: k, UB: math.Max(kid[0].UB-kc, 0) + k}
+		case plan.Exchange:
+			// An exchange is a buffering pass-through: every consumed row is
+			// eventually emitted, so the filter formula above — which treats
+			// the consumed-but-unemitted deficit as dropped rows — would sink
+			// the upper bound below the true final count by the exchange's
+			// buffer occupancy. Output count equals input count, exactly as
+			// for Sort; rows already consumed are guaranteed to come out.
+			kc := float64(snap.Op(n.Children[0].ID).ActualRows)
+			b = Bounds{LB: math.Max(k, kc), UB: kid[0].UB}
 		case plan.Sort:
 			// A sort outputs exactly its input count.
 			kc := float64(snap.Op(n.Children[0].ID).ActualRows)
@@ -129,7 +138,26 @@ func (e *Estimator) ComputeBounds(snap *dmv.Snapshot) []Bounds {
 			if len(n.GroupCols) == 0 || kc > 0 {
 				lb = math.Max(1, k)
 			}
-			b = Bounds{LB: lb, UB: math.Max(kid[0].UB-kc, 0) + math.Max(lb, k)}
+			switch {
+			case len(n.GroupCols) == 0:
+				// Scalar aggregate: exactly one output row, always.
+				b = Bounds{LB: lb, UB: 1}
+			case n.Physical == plan.HashAggregate:
+				// Blocking: groups buffer in the hash table until the input is
+				// exhausted, so emitted-count arithmetic says nothing about
+				// what remains to stream out; the only sound cap is the
+				// child's total (every input row may found its own group).
+				b = Bounds{LB: lb, UB: math.Max(kid[0].UB, lb)}
+			default:
+				// Streaming: one group in flight at a time, so the future
+				// output is at most a new group per remaining input row plus
+				// the open group (the +1 slack, until the operator closes).
+				slack := 1.0
+				if snap.Op(n.ID).Closed {
+					slack = 0
+				}
+				b = Bounds{LB: lb, UB: math.Max(kid[0].UB-kc, 0) + math.Max(lb, k) + slack}
+			}
 		case plan.RIDLookup:
 			b = Bounds{LB: k, UB: kid[0].UB}
 		case plan.TableSpool:

@@ -144,9 +144,13 @@ func TestBoundsFilterAndExchangeAndSegment(t *testing.T) {
 	if fb.LB != 30 || fb.UB != 430 {
 		t.Fatalf("filter bounds = %+v, want [30, 430]", fb)
 	}
+	// An exchange is a buffering pass-through (output count = input count):
+	// consumed rows are guaranteed out (LB = K_child = 100) and the filter
+	// formula's UB, which would treat the buffered deficit as dropped rows,
+	// does not apply — UB = UB_child.
 	eb := mk(func(s *plan.Node) *plan.Node { return f.b.ExchangeNode(s, plan.GatherStreams) })
-	if eb.UB != 430 {
-		t.Fatalf("exchange bounds = %+v, want UB 430", eb)
+	if eb.LB != 100 || eb.UB != 500 {
+		t.Fatalf("exchange bounds = %+v, want [100, 500]", eb)
 	}
 	sb := mk(func(s *plan.Node) *plan.Node { return f.b.SegmentNode(s, []int{0}) })
 	if sb.UB != 430 {
@@ -190,9 +194,34 @@ func TestBoundsAggregate(t *testing.T) {
 	scan := f.b.TableScan("dim", nil, nil)
 	agg := f.b.HashAgg(scan, []int{1}, []expr.AggSpec{{Kind: expr.CountStar}})
 	b, _ := boundsFor(t, f, agg, map[*plan.Node]int64{scan: 200, agg: 0}, nil)
-	// LB = max(1, K); UB = (UB_child − K_child) + max(1, K).
-	if b[0].LB != 1 || b[0].UB != 301 {
-		t.Fatalf("aggregate bounds = %+v, want [1, 301]", b[0])
+	// A blocking hash aggregate buffers groups until its input closes, so
+	// consumed-count arithmetic cannot tighten the cap: UB = UB_child
+	// (every input row may found its own group), LB = max(1, K).
+	if b[0].LB != 1 || b[0].UB != 500 {
+		t.Fatalf("hash aggregate bounds = %+v, want [1, 500]", b[0])
+	}
+}
+
+func TestBoundsStreamAggregate(t *testing.T) {
+	f := newFixture(t)
+	scan := f.b.TableScan("dim", nil, nil)
+	agg := f.b.StreamAgg(scan, []int{1}, []expr.AggSpec{{Kind: expr.CountStar}})
+	b, _ := boundsFor(t, f, agg, map[*plan.Node]int64{scan: 200, agg: 40}, nil)
+	// Streaming emission: a new group per remaining input row plus the one
+	// open group — UB = (UB_child − K_child) + K + 1 = (500 − 200) + 40 + 1.
+	if b[0].LB != 40 || b[0].UB != 341 {
+		t.Fatalf("stream aggregate bounds = %+v, want [40, 341]", b[0])
+	}
+}
+
+func TestBoundsScalarAggregateExact(t *testing.T) {
+	f := newFixture(t)
+	scan := f.b.TableScan("dim", nil, nil)
+	agg := f.b.HashAgg(scan, nil, []expr.AggSpec{{Kind: expr.CountStar}})
+	b, _ := boundsFor(t, f, agg, map[*plan.Node]int64{scan: 200, agg: 0}, nil)
+	// A scalar aggregate emits exactly one row, even over empty input.
+	if b[0].LB != 1 || b[0].UB != 1 {
+		t.Fatalf("scalar aggregate bounds = %+v, want [1, 1]", b[0])
 	}
 }
 

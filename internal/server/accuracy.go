@@ -1,0 +1,162 @@
+package server
+
+// Retrospective estimator-accuracy surface: once a hosted query reaches a
+// terminal state, its DMV flight-recorder trace is replayed through every
+// estimator mode (TGN/DNE/LQS) and scored against the ground-truth oracle
+// — the internal/accuracy subsystem run per query, served two ways:
+//
+//   - GET /queries/{id}/accuracy returns the per-mode error report (409
+//     with code NOT_TERMINAL while the query still runs);
+//   - /metrics grows an lqs_query_accuracy_* family (qid/query/workload/
+//     tenant/mode labels, gauges computed once at terminal state) plus
+//     per-mode server/accuracy_mean_abs_err_* histograms aggregating over
+//     every query the server has finished.
+//
+// The computation happens once, on the watcher goroutine right after the
+// terminal state lands, so scrapes and endpoint reads only ever see the
+// memoized result.
+
+import (
+	"net/http"
+	"strings"
+
+	"lqs/internal/accuracy"
+	"lqs/internal/obs"
+)
+
+// ModeAccuracyJSON is one estimator mode's error report for a finished
+// query (accuracy.QueryAccuracy over the wire).
+type ModeAccuracyJSON struct {
+	Mode                   string  `json:"mode"`
+	Polls                  int     `json:"polls"`
+	DegradedPolls          int     `json:"degraded_polls,omitempty"`
+	ErrPolls               int     `json:"err_polls"`
+	MaxAbsErr              float64 `json:"max_abs_err"`
+	MeanAbsErr             float64 `json:"mean_abs_err"`
+	TerminalErr            float64 `json:"terminal_err"`
+	BoundsObs              int     `json:"bounds_obs,omitempty"`
+	BoundsCoverage         float64 `json:"bounds_coverage"`
+	MonotonicityViolations int     `json:"monotonicity_violations"`
+}
+
+// AccuracyResponse is the GET /queries/{id}/accuracy reply.
+type AccuracyResponse struct {
+	ID       int64  `json:"id"`
+	Name     string `json:"name"`
+	Workload string `json:"workload"`
+	Query    string `json:"query"`
+	Tenant   string `json:"tenant"`
+	// DroppedPolls counts flight-recorder snapshots lost to the history
+	// cap: the replay scored only the retained polls.
+	DroppedPolls int64              `json:"dropped_polls,omitempty"`
+	Modes        []ModeAccuracyJSON `json:"modes"`
+}
+
+// accErrBuckets grades absolute progress errors (a [0,1] quantity) for the
+// per-mode server histograms.
+var accErrBuckets = []float64{0.005, 0.01, 0.02, 0.05, 0.1, 0.2, 0.5}
+
+// computeAccuracy replays the finished query's trace through every
+// estimator mode and memoizes the per-mode report. Idempotent (sync.Once);
+// must only be called after the terminal state landed. The first caller —
+// the watcher goroutine — also feeds the aggregate server histograms, so
+// each query is observed exactly once.
+func (h *hostedQuery) computeAccuracy() {
+	h.accOnce.Do(func() {
+		q := h.sess.Query
+		tr := h.poller.Finish(q)
+		for _, m := range accuracy.Modes() {
+			traj := accuracy.Record(q.Plan, h.db.Catalog, tr, m)
+			qa := accuracy.Measure(h.spec.Workload, h.spec.Query, traj)
+			h.acc = append(h.acc, qa)
+			mode := strings.ToLower(m.Name)
+			h.srv.obs.Histogram("server/accuracy_mean_abs_err_"+mode, accErrBuckets).Observe(qa.MeanAbsErr)
+			h.srv.obs.Histogram("server/accuracy_terminal_err_"+mode, accErrBuckets).Observe(qa.TerminalErr)
+		}
+		h.accDropped = tr.DroppedSnapshots
+		h.srv.obs.Counter("server/accuracy_computed").Inc()
+	})
+}
+
+// accuracyReport returns the memoized per-mode report, computing it on
+// first use; ok is false while the query still runs.
+func (h *hostedQuery) accuracyReport() (acc []accuracy.QueryAccuracy, dropped int64, ok bool) {
+	if !h.done() {
+		return nil, 0, false
+	}
+	h.computeAccuracy()
+	return h.acc, h.accDropped, true
+}
+
+// handleAccuracy is GET /queries/{id}/accuracy.
+func (s *Server) handleAccuracy(w http.ResponseWriter, r *http.Request) {
+	h := s.lookup(w, r)
+	if h == nil {
+		return
+	}
+	acc, dropped, ok := h.accuracyReport()
+	if !ok {
+		writeErr(w, http.StatusConflict, APIError{
+			Code:    CodeNotTerminal,
+			Message: "accuracy is computed retrospectively; the query is still running",
+		})
+		return
+	}
+	out := AccuracyResponse{
+		ID:           int64(h.id),
+		Name:         h.name,
+		Workload:     h.spec.Workload,
+		Query:        h.spec.Query,
+		Tenant:       h.spec.Tenant,
+		DroppedPolls: dropped,
+		Modes:        make([]ModeAccuracyJSON, 0, len(acc)),
+	}
+	for _, qa := range acc {
+		out.Modes = append(out.Modes, ModeAccuracyJSON{
+			Mode:                   qa.Mode,
+			Polls:                  qa.Polls,
+			DegradedPolls:          qa.DegradedPolls,
+			ErrPolls:               qa.ErrPolls,
+			MaxAbsErr:              qa.MaxAbsErr,
+			MeanAbsErr:             qa.MeanAbsErr,
+			TerminalErr:            qa.TerminalErr,
+			BoundsObs:              qa.BoundsObs,
+			BoundsCoverage:         qa.BoundsCoverage,
+			MonotonicityViolations: qa.MonotonicityViolations,
+		})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// accuracyPoints renders the lqs_query_accuracy_* family for a finished
+// query (nil while running): one series per mode, tenant+mode labeled,
+// values fixed once computed.
+func (h *hostedQuery) accuracyPoints() []obs.Point {
+	acc, _, ok := h.accuracyReport()
+	if !ok {
+		return nil
+	}
+	gauge := func(name, help string, labels string, v float64) obs.Point {
+		return obs.Point{Name: name, Labels: labels, Kind: obs.KindGauge, Help: help, Value: v}
+	}
+	pts := make([]obs.Point, 0, 7*len(acc))
+	for _, qa := range acc {
+		lbl := obs.Labeled("",
+			"qid", h.qidLabel(),
+			"query", h.spec.Query,
+			"workload", h.spec.Workload,
+			"tenant", h.spec.Tenant,
+			"mode", qa.Mode,
+		)
+		pts = append(pts,
+			gauge("lqs_query_accuracy_mean_abs_error", "Mean absolute progress-estimate error over non-degraded polls, per estimator mode.", lbl, qa.MeanAbsErr),
+			gauge("lqs_query_accuracy_max_abs_error", "Maximum absolute progress-estimate error over non-degraded polls.", lbl, qa.MaxAbsErr),
+			gauge("lqs_query_accuracy_terminal_error", "Distance from 1 of the estimate at query completion.", lbl, qa.TerminalErr),
+			gauge("lqs_query_accuracy_bounds_coverage", "Fraction of cardinality-bound checks containing the true cardinality (1 when the mode computes no bounds).", lbl, qa.BoundsCoverage),
+			gauge("lqs_query_accuracy_monotonicity_violations", "Polls whose estimate regressed below the previous poll.", lbl, float64(qa.MonotonicityViolations)),
+			gauge("lqs_query_accuracy_polls", "Polls replayed from the flight recorder.", lbl, float64(qa.Polls)),
+			gauge("lqs_query_accuracy_degraded_polls", "Replayed polls that were synthesized or repaired; excluded from the error stats.", lbl, float64(qa.DegradedPolls)),
+		)
+	}
+	return pts
+}

@@ -1,0 +1,199 @@
+package server
+
+// PR 9 server surface: the retrospective accuracy endpoint and metric
+// family, the per-query scrape cache, and chaos-degraded accuracy
+// accounting over the wire.
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"lqs/internal/chaos"
+)
+
+// getError fetches url expecting a typed error body.
+func getError(t *testing.T, url string) (int, APIError) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var body errorBody
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatalf("decode error body: %v", err)
+	}
+	return resp.StatusCode, body.Err
+}
+
+// TestAccuracyEndpoint: 409 NOT_TERMINAL while the query runs, then a
+// per-mode error report once it finishes — all three estimator modes,
+// error stats in range, and the LQS contract (bounds cover the truth,
+// zero monotonicity violations) holding over the wire.
+func TestAccuracyEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{
+		PollInterval: 2 * time.Millisecond, // virtual: ~20 flight-recorder polls for Q1
+		Pace:         2 * time.Millisecond, // Q1 ~80ms wall: time to observe mid-flight
+	})
+	sub := submit(t, ts, QuerySpec{Query: "Q1", Tenant: "acme"})
+	url := fmt.Sprintf("%s/queries/%d/accuracy", ts.URL, sub.ID)
+
+	if code, apiErr := getError(t, url); code != http.StatusConflict || apiErr.Code != CodeNotTerminal {
+		t.Fatalf("mid-flight accuracy: got %d %q, want 409 %s", code, apiErr.Code, CodeNotTerminal)
+	}
+
+	waitTerminal(t, ts, sub.ID)
+	var rep AccuracyResponse
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if code := getJSON(t, url, &rep); code == http.StatusOK {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("accuracy report never became available after terminal")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	if rep.Query != "Q1" || rep.Tenant != "acme" {
+		t.Fatalf("report identity = %q/%q, want Q1/acme", rep.Query, rep.Tenant)
+	}
+	want := map[string]bool{"TGN": false, "DNE": false, "LQS": false}
+	for _, m := range rep.Modes {
+		if _, ok := want[m.Mode]; !ok {
+			t.Fatalf("unexpected mode %q", m.Mode)
+		}
+		want[m.Mode] = true
+		if m.Polls <= 0 {
+			t.Errorf("%s: polls = %d, want > 0", m.Mode, m.Polls)
+		}
+		if m.MeanAbsErr < 0 || m.MeanAbsErr > 1 || m.MaxAbsErr < m.MeanAbsErr {
+			t.Errorf("%s: implausible error stats mean=%v max=%v", m.Mode, m.MeanAbsErr, m.MaxAbsErr)
+		}
+		if m.Mode == "LQS" {
+			if m.BoundsObs == 0 || m.BoundsCoverage != 1 {
+				t.Errorf("LQS bounds coverage = %v over %d obs, want 1 over >0", m.BoundsCoverage, m.BoundsObs)
+			}
+			if m.MonotonicityViolations != 0 {
+				t.Errorf("LQS monotonicity violations = %d, want 0", m.MonotonicityViolations)
+			}
+		}
+	}
+	for mode, seen := range want {
+		if !seen {
+			t.Errorf("mode %s missing from report", mode)
+		}
+	}
+}
+
+// TestScrapeCacheHits: repeated scrapes of a quiesced server serve every
+// per-query family from the cache — misses stop growing, hits keep
+// climbing, and the exposition stays byte-identical.
+func TestScrapeCacheHits(t *testing.T) {
+	srv, ts := newTestServer(t, Config{})
+	a := submit(t, ts, QuerySpec{Query: "Q1", Tenant: "acme"})
+	b := submit(t, ts, QuerySpec{Query: "Q6", Tenant: "beta"})
+	waitTerminal(t, ts, a.ID)
+	waitTerminal(t, ts, b.ID)
+
+	base := scrapeQuiesced(t, ts.URL)
+	hits0, misses0 := srv.ScrapeCacheStats()
+	const extra = 5
+	for i := 0; i < extra; i++ {
+		if got := scrape(t, ts.URL); got != base {
+			t.Fatalf("scrape %d diverged from quiesced exposition", i)
+		}
+	}
+	hits1, misses1 := srv.ScrapeCacheStats()
+	if misses1 != misses0 {
+		t.Errorf("quiesced scrapes still rebuilding: misses %d -> %d", misses0, misses1)
+	}
+	if wantHits := hits0 + extra*2; hits1 != wantHits { // 2 hosted queries per scrape
+		t.Errorf("cache hits %d -> %d, want %d", hits0, hits1, wantHits)
+	}
+}
+
+// TestScrapeCacheInvalidation: the cache key moves with execution — a
+// scrape taken mid-flight and one taken at terminal state cannot both be
+// served from one cached build, and the terminal scrape must carry the
+// accuracy family (the accuracy-readiness bit invalidates the key even if
+// no further poll tick lands).
+func TestScrapeCacheInvalidation(t *testing.T) {
+	srv, ts := newTestServer(t, Config{
+		Pace: 2 * time.Millisecond,
+	})
+	sub := submit(t, ts, QuerySpec{Query: "Q1", Tenant: "acme"})
+	mid := scrape(t, ts.URL)
+	if strings.Contains(mid, "lqs_query_accuracy_mean_abs_error") {
+		t.Fatal("accuracy family present before terminal state")
+	}
+	waitTerminal(t, ts, sub.ID)
+	fin := scrapeQuiesced(t, ts.URL)
+	if !strings.Contains(fin, `lqs_query_accuracy_mean_abs_error{mode="LQS",qid="1"`) {
+		t.Fatal("terminal scrape missing the accuracy family")
+	}
+	if _, misses := srv.ScrapeCacheStats(); misses < 2 {
+		t.Errorf("misses = %d, want >= 2 (mid-flight and terminal rebuilds)", misses)
+	}
+}
+
+// TestChaosDegradedAccuracy: with DMV-layer faults injected via the server
+// Chaos config, the flight recorder synthesizes degraded polls; the
+// accuracy report counts them, excludes them from the error stats
+// (err_polls + degraded_polls == polls), and the metric family labels them.
+func TestChaosDegradedAccuracy(t *testing.T) {
+	_, ts := newTestServer(t, Config{
+		PollInterval: 2 * time.Millisecond, // virtual: ~20 polls for Q1
+		Chaos: &chaos.Config{
+			Seed: 1,
+			// DMV-only faults: poll stalls degrade snapshots without ever
+			// perturbing execution, so the query still succeeds.
+			DMV: chaos.DMVFaults{StallProb: 0.5},
+		},
+	})
+	sub := submit(t, ts, QuerySpec{Query: "Q1", Tenant: "acme"})
+	if st := waitTerminal(t, ts, sub.ID); st.State != "SUCCEEDED" {
+		t.Fatalf("query state %s, want SUCCEEDED (DMV faults must not fail execution)", st.State)
+	}
+
+	var rep AccuracyResponse
+	url := fmt.Sprintf("%s/queries/%d/accuracy", ts.URL, sub.ID)
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if code := getJSON(t, url, &rep); code == http.StatusOK {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("accuracy report never became available")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	sawDegraded := false
+	for _, m := range rep.Modes {
+		if m.DegradedPolls > 0 {
+			sawDegraded = true
+		}
+		if m.ErrPolls+m.DegradedPolls != m.Polls {
+			t.Errorf("%s: err %d + degraded %d != polls %d (degraded polls must be excluded, not dropped)",
+				m.Mode, m.ErrPolls, m.DegradedPolls, m.Polls)
+		}
+	}
+	if !sawDegraded {
+		t.Fatal("no degraded polls recorded under DMV StallProb 0.5")
+	}
+
+	got := scrapeQuiesced(t, ts.URL)
+	if !strings.Contains(got, `lqs_query_accuracy_degraded_polls{mode="LQS",qid="1"`) {
+		t.Fatal("metrics missing the degraded-polls accuracy series")
+	}
+	for _, line := range strings.Split(got, "\n") {
+		if strings.HasPrefix(line, "lqs_query_accuracy_degraded_polls{") && strings.HasSuffix(line, " 0") {
+			t.Errorf("degraded polls not labeled in metrics: %s", line)
+		}
+	}
+}

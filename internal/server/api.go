@@ -150,6 +150,7 @@ const (
 	CodeNotFound          = "NOT_FOUND"
 	CodeAdmissionRejected = "ADMISSION_REJECTED"
 	CodeDraining          = "DRAINING"
+	CodeNotTerminal       = "NOT_TERMINAL"
 )
 
 // APIError is the typed error body: {"error": {...}}.

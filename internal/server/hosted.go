@@ -3,11 +3,17 @@ package server
 import (
 	"fmt"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
+	"lqs/internal/accuracy"
+	"lqs/internal/chaos"
 	"lqs/internal/engine/dmv"
+	"lqs/internal/engine/exec"
 	"lqs/internal/engine/storage"
 	"lqs/internal/lqs"
+	"lqs/internal/obs"
 	"lqs/internal/progress"
 	"lqs/internal/sim"
 	"lqs/internal/workload"
@@ -32,6 +38,36 @@ type hostedQuery struct {
 	// terminal closes once the runner goroutine has finished (the query is
 	// in a terminal state and its result is recorded in the registry).
 	terminal chan struct{}
+
+	// pollVer counts flight-recorder poll ticks; a clock observer bumps it
+	// on the executor goroutine, and the scrape cache below keys on it so
+	// cached /metrics points invalidate exactly when a new poll could have
+	// changed them.
+	pollVer atomic.Int64
+	// Scrape cache: /metrics output for this query, recomputed only when
+	// the cache key (poll version, lifecycle state, accuracy readiness)
+	// moves. A server hosting hundreds of queries stops re-snapshotting
+	// every one of them on every scrape.
+	cacheMu  sync.Mutex
+	cacheKey pointsKey
+	cachePts []obs.Point
+	cacheOK  bool
+
+	// Retrospective accuracy report, memoized at terminal state by the
+	// watcher goroutine (accOnce guards the replay).
+	accOnce    sync.Once
+	acc        []accuracy.QueryAccuracy
+	accDropped int64
+}
+
+// pointsKey is the scrape-cache invalidation key: any observable change to
+// a query's /metrics points moves at least one field — a new flight-
+// recorder poll, a lifecycle transition, or the terminal accuracy report
+// becoming available.
+type pointsKey struct {
+	ver   int64
+	state exec.QueryState
+	acc   bool
 }
 
 // done reports whether the query has fully finished (runner exited).
@@ -89,6 +125,19 @@ func newHosted(srv *Server, spec QuerySpec) (*hostedQuery, error) {
 		sess.Query.Ctx.Deadline = time.Duration(spec.DeadlineMS) * time.Millisecond
 	}
 
+	// Fault drills against the live endpoint: install the chaos injectors
+	// on this query's private stack, with a per-query seed derived from the
+	// server ordinal so concurrent queries draw independent fault streams.
+	var chaosPlan *chaos.Plan
+	if srv.cfg.Chaos != nil {
+		ccfg := *srv.cfg.Chaos
+		ccfg.Seed = perQueryChaosSeed(ccfg.Seed, srv.chaosOrdinal.Add(1))
+		chaosPlan = chaos.NewPlan(ccfg)
+		w.DB.Pool.SetFaultInjector(chaosPlan.StorageInjector())
+		sess.Query.Ctx.Chaos = chaosPlan.ExecInjector()
+		sess.SetSnapshotFault(chaosPlan.PollFault())
+	}
+
 	h := &hostedQuery{
 		name:     w.Name + "/" + query.Name,
 		spec:     spec,
@@ -105,7 +154,19 @@ func newHosted(srv *Server, spec QuerySpec) (*hostedQuery, error) {
 	h.poller = dmv.NewPoller(sess.Query.Ctx.Clock, srv.cfg.PollInterval)
 	h.poller.SetHistoryCap(srv.cfg.HistoryCap)
 	h.poller.SetMetrics(srv.obs)
+	if chaosPlan != nil {
+		// A fresh PollFault instance: the hooks are stateful and single-use,
+		// so the flight recorder and the session monitor each get their own.
+		h.poller.SetFault(chaosPlan.PollFault())
+	}
 	h.poller.Register(sess.Query)
+
+	// Scrape-cache invalidation: bump the poll version at every flight-
+	// recorder tick (same cadence, its own observer — fires on the executor
+	// goroutine; the bump is atomic).
+	sess.Query.Ctx.Clock.Observe(srv.cfg.PollInterval, func(sim.Duration) {
+		h.pollVer.Add(1)
+	})
 
 	// Pacing: convert virtual progress into wall time so remote observers
 	// see a query *run* rather than a terminal flash. The observer sleeps
@@ -201,6 +262,16 @@ func (h *hostedQuery) history() HistoryResponse {
 		out.Frames = append(out.Frames, hf)
 	}
 	return out
+}
+
+// perQueryChaosSeed folds a query's submission ordinal into the server's
+// master chaos seed (splitmix64 finalization), so every hosted query draws
+// an independent, reproducible fault stream.
+func perQueryChaosSeed(seed, ordinal uint64) uint64 {
+	x := seed ^ (ordinal * 0x9e3779b97f4a7c15)
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
 }
 
 // fanoutLoop owns the query's single shared poll cadence: one snapshot per

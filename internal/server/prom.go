@@ -53,27 +53,53 @@ func (s *Server) collectPoints() []obs.Point {
 	return pts
 }
 
-// points renders one hosted query's counter classes.
+// qidLabel renders the query's ID label value.
+func (h *hostedQuery) qidLabel() string { return strconv.FormatInt(int64(h.id), 10) }
+
+// points returns the query's exposition points through the scrape cache:
+// the expensive rebuild (session snapshot, synchronized DMV capture, pool
+// stats) runs only when the cache key moved — a new flight-recorder poll,
+// a lifecycle transition, or the terminal accuracy report landing. In
+// between, scrapes are served the memoized slice, so a server hosting
+// hundreds of queries no longer re-snapshots each one per scrape; a cached
+// scrape is at most one poll interval stale, the same staleness contract
+// the flight recorder itself has.
 func (h *hostedQuery) points() []obs.Point {
-	qs := h.sess.Snapshot()                // estimator surface (shared-session safe)
-	snap := dmv.CaptureSync(h.sess.Query)  // raw DMV counters at a quiescent boundary
-	pool := h.db.Pool.StatsSnapshot()      // the query's private buffer pool
+	key := pointsKey{ver: h.pollVer.Load(), state: h.sess.Query.State()}
+	_, _, key.acc = h.accuracyReport()
+	h.cacheMu.Lock()
+	defer h.cacheMu.Unlock()
+	if h.cacheOK && h.cacheKey == key {
+		h.srv.scrapeCacheHits.Add(1)
+		return h.cachePts
+	}
+	h.srv.scrapeCacheMisses.Add(1)
+	h.cachePts = h.buildPoints()
+	h.cacheKey, h.cacheOK = key, true
+	return h.cachePts
+}
+
+// buildPoints renders one hosted query's counter classes from live state.
+func (h *hostedQuery) buildPoints() []obs.Point {
+	qs := h.sess.Snapshot()               // estimator surface (shared-session safe)
+	snap := dmv.CaptureSync(h.sess.Query) // raw DMV counters at a quiescent boundary
+	pool := h.db.Pool.StatsSnapshot()     // the query's private buffer pool
 
 	lbl := obs.Labeled("",
-		"qid", strconv.FormatInt(int64(h.id), 10),
+		"qid", h.qidLabel(),
 		"query", h.spec.Query,
 		"workload", h.spec.Workload,
 		"tenant", h.spec.Tenant,
 	)
 	progLbl := obs.Labeled("",
-		"qid", strconv.FormatInt(int64(h.id), 10),
+		"qid", h.qidLabel(),
 		"query", h.spec.Query,
 		"workload", h.spec.Workload,
 		"tenant", h.spec.Tenant,
 		"degraded", strconv.FormatBool(qs.Degraded),
 	)
 	stateLbl := obs.Labeled("",
-		"qid", strconv.FormatInt(int64(h.id), 10),
+		"qid", h.qidLabel(),
 		"query", h.spec.Query,
 		"workload", h.spec.Workload,
 		"tenant", h.spec.Tenant,
@@ -127,7 +153,7 @@ func (h *hostedQuery) points() []obs.Point {
 	// Per-operator progress, the sys.dm_exec_query_profiles drill-down.
 	for _, op := range qs.Ops {
 		opLbl := obs.Labeled("",
-			"qid", strconv.FormatInt(int64(h.id), 10),
+			"qid", h.qidLabel(),
 			"query", h.spec.Query,
 			"workload", h.spec.Workload,
 			"tenant", h.spec.Tenant,
@@ -139,6 +165,9 @@ func (h *hostedQuery) points() []obs.Point {
 			counter("lqs_query_op_rows_total", "Rows produced by the operator (k_i).", opLbl, float64(op.RowsSoFar)),
 		)
 	}
+
+	// Retrospective accuracy class, present once the query is terminal.
+	pts = append(pts, h.accuracyPoints()...)
 	return pts
 }
 

@@ -89,6 +89,18 @@ func TestMetricsGolden(t *testing.T) {
 		`server_queries_submitted 2`,
 		"# TYPE lqs_query_progress gauge",
 		"# TYPE lqs_buffer_manager_page_hits_total counter",
+		// PR 9: the retrospective accuracy family — one series per estimator
+		// mode per finished query, tenant+mode labeled, golden-pinned.
+		`lqs_query_accuracy_mean_abs_error{mode="LQS",qid="1",query="Q1",tenant="acme",workload="tpch"}`,
+		`lqs_query_accuracy_mean_abs_error{mode="TGN",qid="1"`,
+		`lqs_query_accuracy_mean_abs_error{mode="DNE",qid="2"`,
+		`lqs_query_accuracy_terminal_error{mode="LQS",qid="2",query="Q6",tenant="beta",workload="tpch"}`,
+		`lqs_query_accuracy_bounds_coverage{mode="LQS",qid="1",query="Q1",tenant="acme",workload="tpch"} 1`,
+		`lqs_query_accuracy_monotonicity_violations{mode="LQS",qid="1"`,
+		`lqs_query_accuracy_polls{mode="TGN",qid="2"`,
+		"# TYPE lqs_query_accuracy_mean_abs_error gauge",
+		"# TYPE server_accuracy_mean_abs_err_lqs histogram",
+		"server_accuracy_computed 2",
 	} {
 		if !strings.Contains(got, want) {
 			t.Errorf("exposition missing %q", want)

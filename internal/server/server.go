@@ -29,8 +29,10 @@ import (
 	"net/http"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"lqs/internal/chaos"
 	"lqs/internal/engine/dmv"
 	"lqs/internal/lqs"
 	"lqs/internal/obs"
@@ -67,6 +69,10 @@ type Config struct {
 	// Metrics receives every server, registry, poller, and per-query
 	// counter. Default: a fresh private registry.
 	Metrics *obs.Registry
+	// Chaos, when non-nil, installs the cross-layer fault injectors on
+	// every hosted query (per-query derived seeds), for fault drills
+	// against a live endpoint. Default nil (no faults).
+	Chaos *chaos.Config
 }
 
 // Default returns cfg with unset fields filled.
@@ -114,6 +120,20 @@ type Server struct {
 
 	// wg tracks watcher and fanout goroutines; Shutdown drains it.
 	wg sync.WaitGroup
+
+	// chaosOrdinal numbers submissions for per-query chaos seed derivation.
+	chaosOrdinal atomic.Uint64
+	// Scrape-cache effectiveness counters. Plain atomics rather than obs
+	// counters: they move on every scrape, and a scrape must not change
+	// the exposition it returns (the golden test pins scrape idempotence).
+	scrapeCacheHits   atomic.Int64
+	scrapeCacheMisses atomic.Int64
+}
+
+// ScrapeCacheStats reports /metrics per-query cache hits and misses
+// (tests and benchmarks).
+func (s *Server) ScrapeCacheStats() (hits, misses int64) {
+	return s.scrapeCacheHits.Load(), s.scrapeCacheMisses.Load()
 }
 
 // New builds a server from cfg (zero value fine).
@@ -132,6 +152,7 @@ func New(cfg Config) *Server {
 	mux.HandleFunc("GET /queries/{id}", s.handleStatus)
 	mux.HandleFunc("GET /queries/{id}/stream", s.handleStream)
 	mux.HandleFunc("GET /queries/{id}/history", s.handleHistory)
+	mux.HandleFunc("GET /queries/{id}/accuracy", s.handleAccuracy)
 	mux.HandleFunc("DELETE /queries/{id}", s.handleDelete)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
@@ -208,10 +229,14 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 
 	s.obs.Counter("server/queries_submitted").Inc()
 	s.wg.Add(2)
-	go func() { // watcher: mark terminal, release admission slot
+	go func() { // watcher: mark terminal, score accuracy, release admission slot
 		defer s.wg.Done()
 		_, _ = s.reg.Wait(h.id)
 		close(h.terminal)
+		// Retrospective accuracy replay before the slot releases: scrapes
+		// observe the active-gauge decrement only after the accuracy family
+		// and histograms are in place, keeping quiesced scrapes stable.
+		h.computeAccuracy()
 		s.mu.Lock()
 		s.active--
 		s.obs.Gauge("server/active").Set(int64(s.active))
