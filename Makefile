@@ -31,6 +31,7 @@ fuzz-smoke:
 	$(GO) test ./internal/engine/dmv/ -run '^$$' -fuzz FuzzAggregateThreads -fuzztime 10s
 	$(GO) test ./internal/progress/ -run '^$$' -fuzz FuzzEstimator -fuzztime 200x
 	$(GO) test ./internal/progress/ -run '^$$' -fuzz FuzzDegradedSnapshot -fuzztime 200x
+	$(GO) test ./internal/progress/ -run '^$$' -fuzz FuzzEnsembleSelect -fuzztime 200x
 
 # Quick chaos differential battery through the CLI entry point: a reduced
 # (workload x DOP x fault-rate) grid where every chaos run must either be
@@ -91,11 +92,11 @@ serve-smoke:
 	echo "serve-smoke: OK"
 
 # Estimator-accuracy trajectory artifact: replay the quick suite through
-# every estimator mode (TGN/DNE/LQS) against the ground-truth oracle and
+# every estimator mode (TGN/DNE/LQS/ENS) against the ground-truth oracle and
 # commit the per-query error metrics. Deterministic: the same seed yields
 # a byte-identical file. Exits non-zero if any mode breaches its pinned
 # error ceiling. Override the label per PR: `make acc-json ACC_LABEL=pr10`.
-ACC_LABEL ?= pr9
+ACC_LABEL ?= pr10
 acc-json:
 	$(GO) run ./cmd/lqsbench -accuracy -acc-label $(ACC_LABEL) -acc-json ACC_$(ACC_LABEL).json
 

@@ -22,7 +22,7 @@
 //	lqsbench -chaos -full -chaos-seed 7 # full fault grid under another seed
 //
 //	lqsbench -accuracy                      # estimator-accuracy suite
-//	                                        # (TPC-H+TPC-DS x TGN/DNE/LQS)
+//	                                        # (TPC-H+TPC-DS x TGN/DNE/LQS/ENS)
 //	lqsbench -accuracy -acc-json ACC.json   # write the ACC_*.json artifact
 //	lqsbench -accuracy -full                # every query of both workloads
 //
@@ -102,7 +102,7 @@ func main() {
 		dumpObs  = flag.Bool("metrics", false, "dump the metrics registry (pool counters, estimator-error histograms) on exit")
 		chaosRun = flag.Bool("chaos", false, "run the chaos differential battery (TPC-H/TPC-DS x DOP x fault-rate grid) and exit non-zero on contract violations")
 		chaosSd  = flag.Uint64("chaos-seed", 42, "master seed for the -chaos battery")
-		accRun   = flag.Bool("accuracy", false, "run the estimator-accuracy suite (TPC-H/TPC-DS x TGN/DNE/LQS) and exit non-zero on ceiling breaches")
+		accRun   = flag.Bool("accuracy", false, "run the estimator-accuracy suite (TPC-H/TPC-DS x TGN/DNE/LQS/ENS) and exit non-zero on ceiling breaches")
 		accOut   = flag.String("acc-json", "", "with -accuracy: write the ACC_*.json trajectory to this file ('-' = stdout)")
 		accLabel = flag.String("acc-label", "dev", "with -accuracy: label stamped into the report")
 	)

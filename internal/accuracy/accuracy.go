@@ -24,8 +24,8 @@
 // is part of the degradation contract.
 //
 // The suite runner (run.go) sweeps the TPC-H/TPC-DS workloads across the
-// TGN/DNE/LQS modes into a deterministic Report; ceilings.go pins per-mode
-// error ceilings so an estimator regression fails CI like a speed
+// TGN/DNE/LQS/ENS modes into a deterministic Report; ceilings.go pins
+// per-mode error ceilings so an estimator regression fails CI like a speed
 // regression would.
 package accuracy
 
@@ -45,15 +45,17 @@ type Mode struct {
 	Opts progress.Options
 }
 
-// Modes returns the three estimators the paper's evaluation compares: the
-// Total GetNext baseline, the driver-node estimator, and the shipping LQS
-// configuration. Fresh values every call — Options carries no state, but
-// callers may mutate their copy.
+// Modes returns the estimators under comparison: the three the paper's
+// evaluation compares — the Total GetNext baseline, the driver-node
+// estimator, and the shipping LQS configuration — plus the §4j online
+// ensemble over all three. Fresh values every call — Options carries no
+// state, but callers may mutate their copy.
 func Modes() []Mode {
 	return []Mode{
 		{Name: "TGN", Opts: progress.TGNOptions()},
 		{Name: "DNE", Opts: progress.DNEOptions()},
 		{Name: "LQS", Opts: progress.LQSOptions()},
+		{Name: progress.ModeEnsemble, Opts: progress.EnsembleOptions()},
 	}
 }
 

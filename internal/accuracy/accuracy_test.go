@@ -127,6 +127,20 @@ func TestQuickSuiteWithinCeilings(t *testing.T) {
 	if lqs.MonotonicityViolations != 0 {
 		t.Errorf("LQS monotonicity violations = %d, want 0", lqs.MonotonicityViolations)
 	}
+	// The §4j ensemble's contract: beat or match the best single candidate.
+	// Its ceiling entry pins this too (MeanAbsErr = the measured LQS mean),
+	// but the relative check keeps the contract honest if LQS itself moves.
+	ens := by[progress.ModeEnsemble]
+	if ens.MeanAbsErr > lqs.MeanAbsErr {
+		t.Errorf("ENS mean err %.6f exceeds LQS %.6f — the ensemble must beat or match the best candidate",
+			ens.MeanAbsErr, lqs.MeanAbsErr)
+	}
+	if ens.BoundsCoverage != 1 {
+		t.Errorf("ENS bounds coverage = %v, want exactly 1", ens.BoundsCoverage)
+	}
+	if ens.MonotonicityViolations != 0 {
+		t.Errorf("ENS monotonicity violations = %d, want 0", ens.MonotonicityViolations)
+	}
 }
 
 // TestReportDeterministic pins the artifact contract: the same seed and

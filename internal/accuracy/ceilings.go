@@ -26,15 +26,21 @@ type Ceiling struct {
 // DefaultCeilings is the pinned per-mode regression fence for the quick
 // suite. TGN is the paper's weak baseline and gets the loosest fence; DNE
 // sits between; LQS carries the tight fence plus the hard invariants
-// (bounds always cover the truth, monotone progress never regresses).
+// (bounds always cover the truth, monotone progress never regresses); ENS
+// is pinned at LQS's measured mean — the ensemble's contract is to beat or
+// match the best single candidate, so its fence is the LQS measurement
+// itself, not a loosened copy of the LQS fence.
 func DefaultCeilings() map[string]Ceiling {
 	// Measured on the quick suite at seed 42: TGN mean 0.126 / max 0.771 /
 	// terminal 0.116; DNE mean 0.131 / max 0.847 / terminal 0; LQS mean
-	// 0.032 / max 0.252 / terminal 0, bounds coverage exactly 1.
+	// 0.0322 / max 0.252 / terminal 0, bounds coverage exactly 1; ENS mean
+	// 0.0316 / max 0.252 / terminal 7e-6, bounds coverage exactly 1.
 	return map[string]Ceiling{
 		"TGN": {MeanAbsErr: 0.18, MaxAbsErr: 0.90, MeanTerminalErr: 0.18},
 		"DNE": {MeanAbsErr: 0.18, MaxAbsErr: 0.95, MeanTerminalErr: 0.05},
 		"LQS": {MeanAbsErr: 0.08, MaxAbsErr: 0.40, MeanTerminalErr: 0.02,
+			MinBoundsCoverage: 1, MaxMonotonicityViolations: 0},
+		"ENS": {MeanAbsErr: 0.0322, MaxAbsErr: 0.30, MeanTerminalErr: 0.001,
 			MinBoundsCoverage: 1, MaxMonotonicityViolations: 0},
 	}
 }

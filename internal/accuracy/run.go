@@ -87,7 +87,7 @@ type ModeSummary struct {
 
 // Report is the suite result: per-(query, mode) metrics plus per-mode
 // aggregates, in deterministic order (workloads as configured, queries in
-// workload order, modes TGN/DNE/LQS).
+// workload order, modes TGN/DNE/LQS/ENS).
 type Report struct {
 	Label   string          `json:"label"`
 	Seed    uint64          `json:"seed"`

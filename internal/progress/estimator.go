@@ -40,6 +40,11 @@ type Estimator struct {
 	// Estimate pass (set by Explain); the hot path pays one nil check per
 	// recording point.
 	rec *Explanation
+
+	// ens holds the §4j ensemble machinery when Options.Ensemble is set:
+	// the candidate estimators (sharing one NHints store) and the online
+	// selector state. Nil in every other mode.
+	ens *ensemble
 }
 
 // Estimate is the result of one estimation pass: what LQS displays.
@@ -62,6 +67,10 @@ type Estimate struct {
 	Degraded bool
 	// DegradeReason says why, for display.
 	DegradeReason string
+	// Ensemble carries the per-candidate introspection in ensemble mode
+	// (Options.Ensemble): candidate progress values, blend weights, the raw
+	// blend, and the hysteresis-selected candidate. Nil in other modes.
+	Ensemble *EnsembleInfo
 }
 
 // NewEstimator builds an estimator for a finalized, cost-estimated plan.
@@ -91,6 +100,9 @@ func NewEstimator(p *plan.Plan, cat *catalog.Catalog, opt Options) *Estimator {
 		return has
 	}
 	rec(p.Root)
+	if opt.Ensemble {
+		e.ens = newEnsemble(p, cat, opt)
+	}
 	return e
 }
 
@@ -107,6 +119,9 @@ func (e *Estimator) Estimate(snap *dmv.Snapshot) *Estimate {
 // funnel through it so the repaired snapshot is the one every intermediate
 // reads.
 func (e *Estimator) estimateFrom(snap *dmv.Snapshot, degraded bool, reason string) *Estimate {
+	if e.ens != nil {
+		return e.estimateEnsemble(snap, degraded, reason)
+	}
 	snap.Aggregate()
 	est := &Estimate{
 		At:            snap.At,
@@ -277,8 +292,7 @@ func (e *Estimator) nodeN(snap *dmv.Snapshot, est *Estimate, n *plan.Node, alpha
 	}
 
 	if !e.Opt.Refine {
-		e.note(n.ID, SrcOptimizer, 0)
-		return n.EstRows
+		return e.fallbackN(n)
 	}
 
 	// Algebraic identities: pass-through operators output exactly their
@@ -319,8 +333,7 @@ func (e *Estimator) nodeN(snap *dmv.Snapshot, est *Estimate, n *plan.Node, alpha
 			e.note(n.ID, SrcPropagated, 0)
 			return e.propagatedEstimate(est, n)
 		}
-		e.note(n.ID, SrcOptimizer, 0)
-		return n.EstRows
+		return e.fallbackN(n)
 	}
 
 	pl := e.Decomp.Pipelines[e.Decomp.PipeOf[n.ID]]
@@ -332,12 +345,10 @@ func (e *Estimator) nodeN(snap *dmv.Snapshot, est *Estimate, n *plan.Node, alpha
 			e.note(n.ID, SrcPropagated, 0)
 			return e.propagatedEstimate(est, n)
 		}
-		e.note(n.ID, SrcOptimizer, 0)
-		return n.EstRows
+		return e.fallbackN(n)
 	}
 	if !e.refineGuardsOK(snap, n) {
-		e.note(n.ID, SrcOptimizer, 0)
-		return n.EstRows
+		return e.fallbackN(n)
 	}
 
 	// Leaf scans with filters refine from their own I/O or segment
@@ -356,8 +367,7 @@ func (e *Estimator) nodeN(snap *dmv.Snapshot, est *Estimate, n *plan.Node, alpha
 			e.note(n.ID, SrcIOFraction, math.Min(frac, 1))
 			return k / math.Min(frac, 1)
 		}
-		e.note(n.ID, SrcOptimizer, 0)
-		return n.EstRows
+		return e.fallbackN(n)
 	}
 
 	// §4.4(3): inner-side nodes scale their average rows per execution by
@@ -382,8 +392,7 @@ func (e *Estimator) nodeN(snap *dmv.Snapshot, est *Estimate, n *plan.Node, alpha
 		alpha = e.pipelineAlpha(snap, est, pl, alphaMemo)
 	}
 	if alpha <= 1e-9 {
-		e.note(n.ID, SrcOptimizer, 0)
-		return n.EstRows
+		return e.fallbackN(n)
 	}
 	if alpha > 1 {
 		alpha = 1
@@ -396,6 +405,22 @@ func (e *Estimator) nodeN(snap *dmv.Snapshot, est *Estimate, n *plan.Node, alpha
 	}
 	e.note(n.ID, src, alpha)
 	return k / alpha
+}
+
+// fallbackN is nodeN's optimizer-estimate fallback, upgraded to the
+// ensemble's shared refined-N̂ hint when one exists (§4j): every candidate
+// that would otherwise return the raw estimate reads the same mid-flight
+// refinement, so observed-selectivity corrections reach candidates (TGN,
+// DNE) whose own rule set never refines — and reach the LQS candidate at
+// the points its rules leave unrefined (aggregates, unstarted pipelines).
+// Outside ensemble mode NHints is nil and this is exactly the old fallback.
+func (e *Estimator) fallbackN(n *plan.Node) float64 {
+	if v, ok := e.Opt.NHints.For(n.ID); ok {
+		e.note(n.ID, SrcSharedHint, 0)
+		return v
+	}
+	e.note(n.ID, SrcOptimizer, 0)
+	return n.EstRows
 }
 
 // propagatedEstimate implements §7 future-work item (a): scale a node's

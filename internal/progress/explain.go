@@ -41,6 +41,11 @@ const (
 	// SrcInterpolated: the prior-work linear interpolation [22]
 	// (Options.InterpRefine).
 	SrcInterpolated
+	// SrcSharedHint: the ensemble's shared refined-N̂ hint (§4j) — an
+	// observed-selectivity or closed-exact refinement computed once per
+	// poll and consumed by every candidate in place of the raw optimizer
+	// fallback.
+	SrcSharedHint
 )
 
 func (s NSource) String() string {
@@ -65,6 +70,8 @@ func (s NSource) String() string {
 		return "pipeline-alpha"
 	case SrcInterpolated:
 		return "interpolated"
+	case SrcSharedHint:
+		return "shared-hint"
 	}
 	return fmt.Sprintf("NSource(%d)", int(s))
 }
@@ -111,6 +118,16 @@ type Term struct {
 	// exactly, for every estimator mode.
 	Contribution float64
 
+	// EnsembleMode, in ensemble mode, names the hysteresis-selected
+	// candidate whose N̂ derivation (Source, Alpha, bound clamps) this term
+	// carries. Empty in other modes.
+	EnsembleMode string
+	// CandidateContrib, in ensemble mode, splits Contribution per
+	// candidate (aligned with Explanation.Candidates): entry i is
+	// weightᵢ · contributionᵢ(node), so the entries sum to Contribution
+	// and the full matrix sums to the blended RawQuery.
+	CandidateContrib []float64
+
 	// num accumulates the node's numerator while the estimator runs; the
 	// final normalization turns it into Contribution.
 	num float64
@@ -121,8 +138,8 @@ type Term struct {
 type Explanation struct {
 	At   sim.Duration
 	Plan *plan.Plan
-	// Mode is the query-progress aggregation used: "tgn", "driver", or
-	// "weighted".
+	// Mode is the query-progress aggregation used: "tgn", "driver",
+	// "weighted", or "ensemble".
 	Mode  string
 	Terms []Term // indexed by node ID
 	// RawQuery is the mode formula's value before display clamps;
@@ -138,6 +155,11 @@ type Explanation struct {
 	// degraded or repaired snapshot (Options.Degrade).
 	Degraded      bool
 	DegradeReason string
+	// Candidates, in ensemble mode, attributes the blend per candidate:
+	// name, weight (weights sum to 1), selector penalty, displayed and raw
+	// query progress, and which candidate the hysteresis selected. Nil in
+	// other modes.
+	Candidates []EnsembleCandidate
 }
 
 // Explain runs one estimation pass with introspection enabled, returning
@@ -150,6 +172,16 @@ func (e *Estimator) Explain(snap *dmv.Snapshot) (*Explanation, *Estimate) {
 	prepared, degraded, reason := e.prepare(snap)
 	snap = prepared
 	snap.Aggregate()
+	if e.ens != nil {
+		return e.explainEnsemble(snap, degraded, reason)
+	}
+	return e.explainFrom(snap, degraded, reason)
+}
+
+// explainFrom is the single-mode introspected pass over an already-prepared
+// snapshot; Explain and the ensemble's per-candidate explains funnel
+// through it.
+func (e *Estimator) explainFrom(snap *dmv.Snapshot, degraded bool, reason string) (*Explanation, *Estimate) {
 	x := &Explanation{
 		At:    snap.At,
 		Plan:  e.Plan,
@@ -190,6 +222,8 @@ func (e *Estimator) Explain(snap *dmv.Snapshot) (*Explanation, *Estimate) {
 // mode names the query-progress aggregation the options select.
 func (e *Estimator) mode() string {
 	switch {
+	case e.Opt.Ensemble:
+		return "ensemble"
 	case e.Opt.Weighted:
 		return "weighted"
 	case e.Opt.DriverNodeQuery:
@@ -294,6 +328,16 @@ func (x *Explanation) Render() string {
 		sb.WriteString(" [degraded]")
 	}
 	sb.WriteByte('\n')
+	if len(x.Candidates) > 0 {
+		sb.WriteString("  candidates:")
+		for _, c := range x.Candidates {
+			fmt.Fprintf(&sb, " %s w=%.3f pen=%.4f q=%.1f%%", c.Name, c.Weight, c.Penalty, c.Query*100)
+			if c.Selected {
+				sb.WriteString("*")
+			}
+		}
+		sb.WriteByte('\n')
+	}
 	var walk func(n *plan.Node, depth int)
 	walk = func(n *plan.Node, depth int) {
 		t := x.Terms[n.ID]

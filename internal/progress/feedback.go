@@ -128,3 +128,168 @@ func (f *Feedback) Weight(n *plan.Node) (float64, bool) {
 
 // Observations reports how many (operator, table) classes have been seen.
 func (f *Feedback) Observations() int { return len(f.perRow) }
+
+// NHints is the ensemble mode's shared mid-flight cardinality refinement
+// (§4j): one pass per poll derives per-node refined-N̂ hints from the
+// aggregated snapshot alone, and every candidate estimator reads them where
+// it would otherwise fall back to the raw optimizer estimate. The hints
+// originate from three observables — exactly-known cardinalities of closed
+// operators, leaf I/O / segment fractions, and a filter's observed
+// selectivity (output/input pass rate projected onto the refined input
+// total) — and propagate upward past pipeline boundaries through algebraic
+// pass-throughs, distinct-value caps, and a clamped estimate ratio, so
+// refinement observed in the first pipeline reaches nodes in pipelines that
+// have not started.
+//
+// Update is a pure function of the snapshot: the store keeps no cross-poll
+// memory, so replaying a snapshot yields identical hints (the estimator's
+// idempotency contract).
+type NHints struct {
+	p       *plan.Plan
+	decomp  *Decomposition
+	minRows int64
+	vals    []float64
+	has     []bool
+}
+
+// NewNHints builds an empty hint store for a finalized plan. minRows is the
+// §4.1-style guard: hints derived from live counters need at least this
+// many observed rows before they fire.
+func NewNHints(p *plan.Plan, minRows int64) *NHints {
+	return &NHints{
+		p:       p,
+		decomp:  Decompose(p),
+		minRows: minRows,
+		vals:    make([]float64, len(p.Nodes)),
+		has:     make([]bool, len(p.Nodes)),
+	}
+}
+
+// For returns the refined-N̂ hint for a node, or ok=false when no hint
+// exists. Safe on a nil store (non-ensemble estimators carry none).
+func (h *NHints) For(id int) (float64, bool) {
+	if h == nil || id < 0 || id >= len(h.vals) || !h.has[id] {
+		return 0, false
+	}
+	return h.vals[id], true
+}
+
+func (h *NHints) set(id int, v float64) {
+	if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+		return
+	}
+	h.vals[id] = v
+	h.has[id] = true
+}
+
+// Update recomputes every hint from one aggregated snapshot, postorder so
+// child hints are available when a node propagates them.
+func (h *NHints) Update(snap *dmv.Snapshot) {
+	for i := range h.has {
+		h.has[i] = false
+		h.vals[i] = 0
+	}
+	var walk func(n *plan.Node)
+	walk = func(n *plan.Node) {
+		for _, c := range n.Children {
+			walk(c)
+		}
+		h.hint(snap, n)
+	}
+	walk(h.p.Root)
+}
+
+// hint derives one node's refined-N̂, if any observable supports one.
+func (h *NHints) hint(snap *dmv.Snapshot, n *plan.Node) {
+	op := snap.Op(n.ID)
+	if op.Closed {
+		h.set(n.ID, float64(op.ActualRows))
+		return
+	}
+	if h.decomp.InnerSide[n.ID] {
+		// Inner-side operators rebind per outer row: their cumulative
+		// counters measure executions, not totals. §4.4(3) owns their
+		// refinement; a naive hint here would be wildly wrong.
+		return
+	}
+	if n.IsLeaf() {
+		// Leaves refine from the fraction of the object read so far.
+		if op.ActualRows < h.minRows {
+			return
+		}
+		var frac float64
+		switch {
+		case n.BatchMode && op.SegmentsTotal > 0:
+			frac = float64(op.SegmentsProcessed) / float64(op.SegmentsTotal)
+		case op.PagesTotal > 0:
+			frac = float64(op.LogicalReads) / float64(op.PagesTotal)
+		}
+		if frac > 1e-9 {
+			h.set(n.ID, float64(op.ActualRows)/math.Min(frac, 1))
+		}
+		return
+	}
+
+	var hintIn, estIn float64
+	var kin int64
+	anyHint := false
+	for _, c := range n.Children {
+		kin += snap.Op(c.ID).ActualRows
+		if v, ok := h.For(c.ID); ok {
+			hintIn += math.Max(v, 1)
+			anyHint = true
+		} else {
+			hintIn += math.Max(c.EstRows, 1)
+		}
+		estIn += math.Max(c.EstRows, 1)
+	}
+
+	// Observed selectivity — the new refined-N̂ source: a streaming filter
+	// that has seen both qualifying and non-qualifying rows projects its
+	// observed pass rate onto the refined input total. The ratio rule below
+	// then carries the correction past the first pipeline boundary.
+	if n.Physical == plan.Filter && kin >= h.minRows && op.ActualRows >= 1 && op.ActualRows < kin {
+		h.set(n.ID, float64(op.ActualRows)/float64(kin)*hintIn)
+		return
+	}
+
+	if !anyHint {
+		return
+	}
+	switch n.Physical {
+	case plan.ComputeScalar, plan.SegmentOp, plan.BitmapCreate, plan.Exchange, plan.Sort:
+		// Algebraic pass-throughs: output equals input.
+		if v, ok := h.For(n.Children[0].ID); ok {
+			h.set(n.ID, v)
+		}
+		return
+	case plan.TopNSort:
+		if v, ok := h.For(n.Children[0].ID); ok {
+			h.set(n.ID, math.Min(float64(n.TopN), v))
+		}
+		return
+	case plan.Concatenation:
+		h.set(n.ID, hintIn)
+		return
+	case plan.HashAggregate, plan.StreamAggregate, plan.DistinctSort:
+		// Group counts are the distinct-value estimate re-capped by the
+		// refined input (mirroring §7(a) propagation).
+		dv := n.EstDistinct
+		if dv <= 0 {
+			dv = n.EstRows
+		}
+		h.set(n.ID, math.Max(math.Min(dv, hintIn), 1))
+		return
+	}
+	// Everything else: scale the optimizer estimate by the refinement ratio
+	// of the inputs, clamped to two orders of magnitude (far-field
+	// propagation compounds uncertainty).
+	ratio := hintIn / math.Max(estIn, 1)
+	if ratio < 0.01 {
+		ratio = 0.01
+	}
+	if ratio > 100 {
+		ratio = 100
+	}
+	h.set(n.ID, n.EstRows*ratio)
+}

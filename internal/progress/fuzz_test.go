@@ -31,6 +31,11 @@ const (
 	fuzzFlagOpened      = 1 << 0
 	fuzzFlagClosed      = 1 << 1
 	fuzzFlagFirstActive = 1 << 2
+	// fuzzFlagDegraded marks the snapshot under construction as degraded —
+	// a poller-synthesized or repaired capture — so fuzz trajectories
+	// exercise the degradation paths (frozen ensemble selector, widened
+	// bounds, forced monotone holds).
+	fuzzFlagDegraded = 1 << 3
 	// fuzzFlagFlush ends the snapshot under construction, so one input can
 	// encode a whole poll sequence (including out-of-order ones).
 	fuzzFlagFlush = 1 << 6
@@ -60,6 +65,10 @@ func decodeSnapshots(data []byte, numNodes int) []*dmv.Snapshot {
 			LastActive:   sim.Duration(rec[3]) + sim.Duration(rec[1]),
 		})
 		cur.At = sim.Duration(rec[3]) * sim.Duration(time.Millisecond)
+		if flags&fuzzFlagDegraded != 0 {
+			cur.Degraded = true
+			cur.DegradeReason = "fuzz"
+		}
 		if flags&fuzzFlagFlush != 0 {
 			out = append(out, cur)
 			cur = &dmv.Snapshot{NumNodes: numNodes}
@@ -89,6 +98,9 @@ func encodeSnapshots(snaps []*dmv.Snapshot) []byte {
 			}
 			if tr.FirstActive {
 				flags |= fuzzFlagFirstActive
+			}
+			if s.Degraded {
+				flags |= fuzzFlagDegraded
 			}
 			if i == len(s.Threads)-1 {
 				flags |= fuzzFlagFlush

@@ -35,6 +35,7 @@ func TestRandomPlanInvariants(t *testing.T) {
 		"TGN":       TGNOptions(),
 		"DNE":       DNEOptions(),
 		"LQS":       LQSOptions(),
+		"ENS":       EnsembleOptions(),
 		"BoundOnly": {Bound: true},
 		"Interp":    {Refine: true, InterpRefine: true, Bound: true},
 		"Path":      func() Options { o := LQSOptions(); o.LongestPathOnly = true; return o }(),
@@ -63,6 +64,9 @@ func TestRandomPlanInvariants(t *testing.T) {
 				e := est.Estimate(s)
 				if e.Query < 0 || e.Query > 1 || math.IsNaN(e.Query) {
 					t.Fatalf("%s/%s snap %d: query progress %v", q.Name, name, si, e.Query)
+				}
+				if e.Ensemble != nil {
+					checkEnsembleInvariants(t, q.Name+"/"+name, si, e)
 				}
 				for id, opProg := range e.Op {
 					if opProg < 0 || opProg > 1 || math.IsNaN(opProg) {
@@ -131,6 +135,7 @@ func TestParallelPlanInvariants(t *testing.T) {
 		"TGN": TGNOptions(),
 		"DNE": DNEOptions(),
 		"LQS": LQSOptions(),
+		"ENS": EnsembleOptions(),
 	}
 	queries := w.Queries
 	if testing.Short() {
@@ -173,6 +178,17 @@ func TestParallelPlanInvariants(t *testing.T) {
 						t.Fatalf("%s/%s dop=%d snap %d: contributions sum %v != raw progress %v",
 							q.Name, name, dop, si, sum, x.RawQuery)
 					}
+					if e.Ensemble != nil {
+						checkEnsembleInvariants(t, q.Name+"/"+name, si, e)
+						var cwsum float64
+						for _, c := range x.Candidates {
+							cwsum += c.Weight
+						}
+						if math.Abs(cwsum-1) > 1e-9 {
+							t.Fatalf("%s/%s dop=%d snap %d: explain candidate weights sum to %v",
+								q.Name, name, dop, si, cwsum)
+						}
+					}
 					for id, opProg := range e.Op {
 						if opProg < 0 || opProg > 1 || math.IsNaN(opProg) {
 							t.Fatalf("%s/%s dop=%d snap %d node %d: op progress %v",
@@ -191,6 +207,41 @@ func TestParallelPlanInvariants(t *testing.T) {
 				}
 			}
 		}
+	}
+}
+
+// checkEnsembleInvariants asserts the §4j selector contract on one
+// estimate: per-candidate weights normalized (sum to 1, each in [0, 1]),
+// the raw blend inside the candidates' min/max progress envelope, and a
+// valid selection index.
+func checkEnsembleInvariants(t *testing.T, tag string, si int, e *Estimate) {
+	t.Helper()
+	info := e.Ensemble
+	if len(info.Weights) != len(info.Query) || len(info.Names) != len(info.Query) {
+		t.Fatalf("%s snap %d: ragged ensemble info %+v", tag, si, info)
+	}
+	var wsum float64
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for i, w := range info.Weights {
+		if math.IsNaN(w) || w < -1e-12 || w > 1+1e-12 {
+			t.Fatalf("%s snap %d: candidate %s weight %v", tag, si, info.Names[i], w)
+		}
+		wsum += w
+		if info.Query[i] < lo {
+			lo = info.Query[i]
+		}
+		if info.Query[i] > hi {
+			hi = info.Query[i]
+		}
+	}
+	if math.Abs(wsum-1) > 1e-9 {
+		t.Fatalf("%s snap %d: ensemble weights sum to %v", tag, si, wsum)
+	}
+	if info.Blend < lo-1e-9 || info.Blend > hi+1e-9 {
+		t.Fatalf("%s snap %d: blend %v outside candidate envelope [%v, %v]", tag, si, info.Blend, lo, hi)
+	}
+	if info.Selected < 0 || info.Selected >= len(info.Names) {
+		t.Fatalf("%s snap %d: selected index %d out of range", tag, si, info.Selected)
 	}
 }
 

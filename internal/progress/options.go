@@ -84,6 +84,22 @@ type Options struct {
 	// the gap the GetNext model cannot see. Off in the shipping LQS
 	// configuration because the real DMV does not expose these counters.
 	InternalCounters bool
+
+	// Ensemble runs the TGN/DNE/LQS estimators side-by-side over the same
+	// aggregated DMV rows and selects/weights among them online per poll,
+	// after König et al.'s robust-estimation predecessor work (DESIGN §4j):
+	// per-candidate self-consistency penalties drive the blend weights, a
+	// hysteresis rule gates which candidate's cardinality attribution the
+	// estimate carries, and bounds are the intersection-safe envelope of
+	// the candidates' Appendix A bounds. See EnsembleOptions.
+	Ensemble bool
+
+	// NHints is the shared mid-flight refined-N̂ store of the ensemble mode
+	// (§4j): NewEstimator wires one store into every candidate, so each
+	// candidate that would otherwise fall back to a raw optimizer estimate
+	// reads the same observed-selectivity refinement instead. Wired by the
+	// ensemble constructor; not set directly.
+	NHints *NHints
 }
 
 // DefaultMinRefineRows is the guard threshold used when MinRefineRows is 0.
@@ -104,6 +120,15 @@ func LQSOptions() Options {
 		Degrade:          true,
 		MinRefineRows:    DefaultMinRefineRows,
 	}
+}
+
+// EnsembleOptions is the §4j ensemble configuration: the full LQS display
+// contract (monotone, degradation-tolerant, bounded) with the TGN/DNE/LQS
+// candidates run side-by-side and selected/weighted online per poll.
+func EnsembleOptions() Options {
+	o := LQSOptions()
+	o.Ensemble = true
+	return o
 }
 
 // TGNOptions is the Total GetNext baseline: Equation 2 with unit weights

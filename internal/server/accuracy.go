@@ -2,7 +2,7 @@ package server
 
 // Retrospective estimator-accuracy surface: once a hosted query reaches a
 // terminal state, its DMV flight-recorder trace is replayed through every
-// estimator mode (TGN/DNE/LQS) and scored against the ground-truth oracle
+// estimator mode (TGN/DNE/LQS/ENS) and scored against the ground-truth oracle
 // — the internal/accuracy subsystem run per query, served two ways:
 //
 //   - GET /queries/{id}/accuracy returns the per-mode error report (409

@@ -31,8 +31,8 @@ func getError(t *testing.T, url string) (int, APIError) {
 }
 
 // TestAccuracyEndpoint: 409 NOT_TERMINAL while the query runs, then a
-// per-mode error report once it finishes — all three estimator modes,
-// error stats in range, and the LQS contract (bounds cover the truth,
+// per-mode error report once it finishes — all four estimator modes,
+// error stats in range, and the LQS/ENS contract (bounds cover the truth,
 // zero monotonicity violations) holding over the wire.
 func TestAccuracyEndpoint(t *testing.T) {
 	_, ts := newTestServer(t, Config{
@@ -62,7 +62,7 @@ func TestAccuracyEndpoint(t *testing.T) {
 	if rep.Query != "Q1" || rep.Tenant != "acme" {
 		t.Fatalf("report identity = %q/%q, want Q1/acme", rep.Query, rep.Tenant)
 	}
-	want := map[string]bool{"TGN": false, "DNE": false, "LQS": false}
+	want := map[string]bool{"TGN": false, "DNE": false, "LQS": false, "ENS": false}
 	for _, m := range rep.Modes {
 		if _, ok := want[m.Mode]; !ok {
 			t.Fatalf("unexpected mode %q", m.Mode)
@@ -74,12 +74,12 @@ func TestAccuracyEndpoint(t *testing.T) {
 		if m.MeanAbsErr < 0 || m.MeanAbsErr > 1 || m.MaxAbsErr < m.MeanAbsErr {
 			t.Errorf("%s: implausible error stats mean=%v max=%v", m.Mode, m.MeanAbsErr, m.MaxAbsErr)
 		}
-		if m.Mode == "LQS" {
+		if m.Mode == "LQS" || m.Mode == "ENS" {
 			if m.BoundsObs == 0 || m.BoundsCoverage != 1 {
-				t.Errorf("LQS bounds coverage = %v over %d obs, want 1 over >0", m.BoundsCoverage, m.BoundsObs)
+				t.Errorf("%s bounds coverage = %v over %d obs, want 1 over >0", m.Mode, m.BoundsCoverage, m.BoundsObs)
 			}
 			if m.MonotonicityViolations != 0 {
-				t.Errorf("LQS monotonicity violations = %d, want 0", m.MonotonicityViolations)
+				t.Errorf("%s monotonicity violations = %d, want 0", m.Mode, m.MonotonicityViolations)
 			}
 		}
 	}

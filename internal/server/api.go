@@ -31,6 +31,10 @@ type QuerySpec struct {
 	// DeadlineMS aborts the query at this much virtual time, like
 	// lqsmon -deadline. 0 means none.
 	DeadlineMS int64 `json:"deadline_ms,omitempty"`
+	// Mode selects the estimator configuration monitoring this query:
+	// tgn, dne, lqs, or ens/ensemble. Default lqs. Normalized to the
+	// canonical mode label (TGN/DNE/LQS/ENS) in every response.
+	Mode string `json:"mode,omitempty"`
 }
 
 // SubmitResponse is the POST /queries reply.
@@ -67,16 +71,29 @@ type TermJSON struct {
 	Contribution float64 `json:"contribution"`
 }
 
+// CandidateJSON is one ensemble candidate's selector row: its blend
+// weight, self-consistency penalty, and displayed/raw progress this poll.
+type CandidateJSON struct {
+	Name     string  `json:"name"`
+	Weight   float64 `json:"weight"`
+	Penalty  float64 `json:"penalty"`
+	Query    float64 `json:"query"`
+	RawQuery float64 `json:"raw_query"`
+	Selected bool    `json:"selected,omitempty"`
+}
+
 // ExplainJSON is the estimator decomposition of one poll: terms whose
 // contributions sum exactly to RawQuery, for every estimator mode —
-// the invariant the e2e battery re-proves over the wire.
+// the invariant the e2e battery re-proves over the wire. In ensemble mode
+// Candidates carries the selector state (weights sum to 1).
 type ExplainJSON struct {
-	AtUS     int64      `json:"at_us"`
-	Mode     string     `json:"mode"`
-	RawQuery float64    `json:"raw_query"`
-	Query    float64    `json:"query"`
-	Degraded bool       `json:"degraded,omitempty"`
-	Terms    []TermJSON `json:"terms"`
+	AtUS       int64           `json:"at_us"`
+	Mode       string          `json:"mode"`
+	RawQuery   float64         `json:"raw_query"`
+	Query      float64         `json:"query"`
+	Degraded   bool            `json:"degraded,omitempty"`
+	Terms      []TermJSON      `json:"terms"`
+	Candidates []CandidateJSON `json:"candidates,omitempty"`
 }
 
 // StatusJSON is the GET /queries/{id} reply: one poll's display state.
@@ -87,6 +104,7 @@ type StatusJSON struct {
 	Query         string       `json:"query"`
 	Tenant        string       `json:"tenant"`
 	DOP           int          `json:"dop"`
+	Mode          string       `json:"mode"`
 	State         string       `json:"state"`
 	Terminal      bool         `json:"terminal"`
 	Progress      float64      `json:"progress"`
@@ -222,6 +240,16 @@ func explainJSON(x *progress.Explanation) *ExplainJSON {
 			InnerDriver:  t.InnerDriver,
 			Contribution: t.Contribution,
 		}
+	}
+	for _, c := range x.Candidates {
+		out.Candidates = append(out.Candidates, CandidateJSON{
+			Name:     c.Name,
+			Weight:   c.Weight,
+			Penalty:  c.Penalty,
+			Query:    c.Query,
+			RawQuery: c.RawQuery,
+			Selected: c.Selected,
+		})
 	}
 	return out
 }

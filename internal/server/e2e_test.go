@@ -249,3 +249,76 @@ func TestE2EDeadlineAbort(t *testing.T) {
 		t.Fatalf("aborted progress out of bounds: %v", st.Progress)
 	}
 }
+
+// TestE2EEnsembleMode: a query submitted with mode=ensemble is monitored
+// by the §4j ensemble estimator end to end — the status echoes the
+// canonical mode label, every explained poll carries the candidate panel
+// (weights normalized, exactly one selected, blend inside the candidates'
+// envelope), and the standard wire invariants keep holding. Unknown modes
+// are rejected with a typed 400 before any workload is built.
+func TestE2EEnsembleMode(t *testing.T) {
+	_, ts := newTestServer(t, pacedConfig())
+
+	var errBody errorBody
+	if code := postJSON(t, ts.URL+"/queries", QuerySpec{Query: "Q1", Mode: "könig"}, &errBody); code != http.StatusBadRequest {
+		t.Fatalf("unknown mode accepted: status %d", code)
+	}
+	if errBody.Err.Code != CodeBadRequest {
+		t.Fatalf("unknown mode error code %q, want %s", errBody.Err.Code, CodeBadRequest)
+	}
+
+	sub := submit(t, ts, QuerySpec{Query: "Q1", Mode: "Ensemble"}) // case-insensitive alias
+	trace := pollTrace(t, ts, sub.ID)
+	var prev *StatusJSON
+	sawCandidates := false
+	for i := range trace {
+		st := trace[i]
+		checkStatusInvariants(t, st, prev)
+		if st.Mode != "ENS" {
+			t.Fatalf("poll %d: mode echoed as %q, want ENS", i, st.Mode)
+		}
+		if x := st.Explain; x != nil {
+			if x.Mode != "ensemble" {
+				t.Fatalf("poll %d: explain mode %q, want ensemble", i, x.Mode)
+			}
+			if len(x.Candidates) == 0 {
+				t.Fatalf("poll %d: ensemble explain without candidate panel", i)
+			}
+			sawCandidates = true
+			var wsum float64
+			selected := 0
+			lo, hi := math.Inf(1), math.Inf(-1)
+			for _, c := range x.Candidates {
+				if c.Weight < -floatEps || c.Weight > 1+floatEps {
+					t.Fatalf("poll %d: candidate %s weight %v", i, c.Name, c.Weight)
+				}
+				wsum += c.Weight
+				if c.Selected {
+					selected++
+				}
+				lo = math.Min(lo, c.RawQuery)
+				hi = math.Max(hi, c.RawQuery)
+			}
+			if math.Abs(wsum-1) > floatEps {
+				t.Fatalf("poll %d: candidate weights sum %v, want 1", i, wsum)
+			}
+			if selected != 1 {
+				t.Fatalf("poll %d: %d candidates selected, want exactly 1", i, selected)
+			}
+			if x.RawQuery < lo-floatEps || x.RawQuery > hi+floatEps {
+				t.Fatalf("poll %d: blended raw %v outside candidate envelope [%v, %v]", i, x.RawQuery, lo, hi)
+			}
+		}
+		prev = &trace[i]
+	}
+	if !sawCandidates {
+		t.Fatal("no poll carried the ensemble candidate panel")
+	}
+	checkTerminal(t, trace[len(trace)-1], 6)
+
+	// The default mode stays LQS and is echoed canonically.
+	def := submit(t, ts, QuerySpec{Query: "Q6"})
+	if st := waitTerminal(t, ts, def.ID); st.Mode != "LQS" {
+		t.Fatalf("default mode echoed as %q, want LQS", st.Mode)
+	}
+}

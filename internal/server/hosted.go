@@ -102,6 +102,22 @@ func buildWorkload(name string, seed uint64) (*workload.Workload, error) {
 	return nil, fmt.Errorf("unknown workload %q", name)
 }
 
+// modeOptions resolves a QuerySpec estimator mode to its canonical label
+// and estimator options. Empty means lqs, the shipping default.
+func modeOptions(mode string) (string, progress.Options, error) {
+	switch strings.ToLower(mode) {
+	case "", "lqs":
+		return "LQS", progress.LQSOptions(), nil
+	case "tgn":
+		return "TGN", progress.TGNOptions(), nil
+	case "dne":
+		return "DNE", progress.DNEOptions(), nil
+	case "ens", "ensemble":
+		return progress.ModeEnsemble, progress.EnsembleOptions(), nil
+	}
+	return "", progress.Options{}, fmt.Errorf("unknown estimator mode %q (want tgn, dne, lqs, or ens)", mode)
+}
+
 // newHosted builds the session, poller, and pacing for a validated spec.
 // It does not launch; the server launches under its admission lock.
 func newHosted(srv *Server, spec QuerySpec) (*hostedQuery, error) {
@@ -119,8 +135,13 @@ func newHosted(srv *Server, spec QuerySpec) (*hostedQuery, error) {
 	if query == nil {
 		return nil, fmt.Errorf("no query %q in workload %s", spec.Query, w.Name)
 	}
+	mode, opts, err := modeOptions(spec.Mode)
+	if err != nil {
+		return nil, err
+	}
+	spec.Mode = mode
 
-	sess := lqs.StartDOP(w.DB, query.Build(w.Builder()), spec.DOP, progress.LQSOptions())
+	sess := lqs.StartDOP(w.DB, query.Build(w.Builder()), spec.DOP, opts)
 	if spec.DeadlineMS > 0 {
 		sess.Query.Ctx.Deadline = time.Duration(spec.DeadlineMS) * time.Millisecond
 	}
@@ -192,6 +213,7 @@ func (h *hostedQuery) status(withOps, withExplain bool) StatusJSON {
 		Query:         h.spec.Query,
 		Tenant:        h.spec.Tenant,
 		DOP:           h.spec.DOP,
+		Mode:          h.spec.Mode,
 		State:         snap.State.String(),
 		Terminal:      snap.State.Terminal(),
 		Progress:      snap.Progress,

@@ -200,6 +200,10 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, APIError{Code: CodeBadRequest, Message: "deadline_ms must be non-negative"})
 		return
 	}
+	if _, _, err := modeOptions(spec.Mode); err != nil {
+		writeErr(w, http.StatusBadRequest, APIError{Code: CodeBadRequest, Message: err.Error()})
+		return
+	}
 
 	// Cheap pre-checks before paying for workload generation; both are
 	// re-checked authoritatively under the lock below.
